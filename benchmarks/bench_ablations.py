@@ -1,0 +1,230 @@
+"""Ablations beyond the paper's figures.
+
+- statistics collector: SpaceSaving budgets vs exact counting;
+- reconfiguration period: how locality decays when reconfiguring
+  less often (the trade-off Section 4.3 discusses);
+- benefit estimator (future work): vetoes low-benefit rounds;
+- partial key grouping baseline: better load balance than hash
+  fields grouping, but no locality;
+- rack-aware hierarchical partitioning (future work): cheaper
+  traffic than flat partitioning on a racked cluster.
+"""
+
+import statistics
+
+import pytest
+
+from helpers import save_table
+from repro.analysis.report import format_table
+from repro.analysis.trace_eval import TwoHopEvaluator
+from repro.core.assignment import plan_reconfiguration
+from repro.core.estimator import EstimatorConfig, ReconfigurationEstimator
+from repro.core.hierarchical import (
+    assignment_quality,
+    compute_hierarchical_assignment,
+)
+from repro.core.keygraph import KeyGraph
+from repro.core.offline import keygraph_from_pairs
+from repro.workloads import TwitterConfig, TwitterWorkload
+
+N_SERVERS = 4
+
+
+@pytest.fixture(scope="module")
+def workload(quick):
+    return TwitterWorkload(
+        TwitterConfig(
+            tweets_per_week=6000 if quick else 20000,
+            num_locations=150,
+            base_hashtags=1500,
+            new_hashtags_per_week=150,
+            seed=3,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return TwoHopEvaluator(N_SERVERS)
+
+
+def test_ablation_spacesaving_vs_exact(workload, evaluator, benchmark):
+    train = list(workload.week_pairs(0))
+    test = list(workload.week_pairs(1))
+
+    def locality_with(capacity):
+        tables, _ = evaluator.plan_tables(
+            train, sketch_capacity=capacity
+        )
+        return evaluator.evaluate(test, tables).locality
+
+    benchmark.pedantic(lambda: locality_with(512), rounds=1, iterations=1)
+    rows = []
+    for capacity in (64, 512, 4096, None):
+        rows.append(
+            {
+                "collector": "exact" if capacity is None else
+                f"spacesaving({capacity})",
+                "locality": locality_with(capacity),
+            }
+        )
+    table = format_table(rows, title="Ablation: statistics collector")
+    print()
+    print(table)
+    save_table("ablation_collector", table)
+    by_name = {r["collector"]: r["locality"] for r in rows}
+    # A moderate sketch gets within a few points of exact counting
+    # (Zipfian tail: most of the optimization lives in the top pairs).
+    assert by_name["spacesaving(4096)"] > by_name["exact"] - 0.08
+    # A tiny sketch is strictly worse.
+    assert by_name["spacesaving(64)"] < by_name["exact"]
+
+
+def test_ablation_reconfiguration_period(workload, evaluator):
+    weeks = 10
+
+    def mean_locality(period):
+        tables = None
+        series = []
+        for week in range(weeks):
+            pairs = list(workload.week_pairs(week))
+            series.append(evaluator.evaluate(pairs, tables).locality)
+            if week % period == 0:
+                tables, _ = evaluator.plan_tables(pairs)
+        return statistics.mean(series[1:])
+
+    rows = [
+        {"period_weeks": period, "mean_locality": mean_locality(period)}
+        for period in (1, 2, 4)
+    ]
+    table = format_table(rows, title="Ablation: reconfiguration period")
+    print()
+    print(table)
+    save_table("ablation_period", table)
+    localities = [r["mean_locality"] for r in rows]
+    assert localities[0] >= localities[-1]
+
+
+def test_ablation_estimator_vetoes_ephemeral_gains(workload):
+    """With a short amortization horizon, most weekly replans are not
+    worth their migration cost; with a long one, they all are."""
+    evaluator = TwoHopEvaluator(N_SERVERS)
+    streams = [evaluator.first_hop, evaluator.second_hop]
+
+    def deployed_rounds(horizon):
+        estimator = ReconfigurationEstimator(
+            EstimatorConfig(horizon_tuples=horizon)
+        )
+        tables = {}
+        deployed = 0
+        for week in range(6):
+            pairs = list(workload.week_pairs(week))
+            graph = keygraph_from_pairs(pairs, "S->A", "A->B")
+            plan = plan_reconfiguration(
+                graph, streams, N_SERVERS, tables, seed=week
+            )
+            if estimator.should_deploy(graph, plan, tables, streams):
+                tables = dict(tables)
+                tables.update(plan.tables)
+                deployed += 1
+        return deployed
+
+    generous = deployed_rounds(horizon=50_000_000)
+    stingy = deployed_rounds(horizon=100)
+    rows = [
+        {"horizon_tuples": 50_000_000, "deployed_rounds": generous},
+        {"horizon_tuples": 100, "deployed_rounds": stingy},
+    ]
+    table = format_table(rows, title="Ablation: benefit estimator")
+    print()
+    print(table)
+    save_table("ablation_estimator", table)
+    assert generous == 6
+    assert stingy < generous
+
+
+def test_ablation_partial_key_grouping_balance():
+    """PKG balances a skewed stream better than hash fields grouping —
+    at the price of splitting keys (no locality tables possible)."""
+    import random
+
+    from repro.engine import (
+        CountBolt,
+        FieldsGrouping,
+        PartialKeyGrouping,
+        RunConfig,
+        TopologyBuilder,
+        run,
+    )
+    from repro.engine.operators import IteratorSpout
+    from repro.workloads import ZipfSampler
+
+    def build(grouping):
+        def source(ctx):
+            sampler = ZipfSampler(100, exponent=1.2, seed=9)
+            rng = random.Random(ctx.instance_index)
+            while True:
+                yield (f"k{sampler.sample(rng)}",)
+
+        builder = TopologyBuilder()
+        builder.spout("S", lambda: IteratorSpout(source), parallelism=4)
+        builder.bolt(
+            "B",
+            lambda: CountBolt(0, forward=False),
+            parallelism=4,
+            inputs={"S": grouping},
+        )
+        return builder.build()
+
+    config = RunConfig(duration_s=0.15, warmup_s=0.05, num_servers=4)
+    hash_result = run(build(FieldsGrouping(0)), config)
+    pkg_result = run(build(PartialKeyGrouping(0)), config)
+    rows = [
+        {"grouping": "fields(hash)", "balance": hash_result.load_balance["B"]},
+        {"grouping": "partial-key", "balance": pkg_result.load_balance["B"]},
+    ]
+    table = format_table(rows, title="Ablation: load balance under skew")
+    print()
+    print(table)
+    save_table("ablation_pkg", table)
+    assert pkg_result.load_balance["B"] < hash_result.load_balance["B"]
+
+
+def test_ablation_hierarchical_vs_flat(workload):
+    """On a 2-rack cluster, two-level partitioning pays less weighted
+    network cost than flat partitioning once rack crossings are
+    priced higher than in-rack hops."""
+    from repro.core.assignment import compute_assignment
+
+    pairs = list(workload.week_pairs(0))
+    graph = keygraph_from_pairs(pairs, "S->A", "A->B")
+    racks = [[0, 1], [2, 3]]
+
+    flat = compute_assignment(graph, 4, seed=2)
+    flat_quality = assignment_quality(graph, flat, racks)
+    hierarchical = compute_hierarchical_assignment(graph, racks, seed=2)
+    hier_quality = assignment_quality(graph, hierarchical, racks)
+
+    rows = [
+        {
+            "scheme": "flat",
+            "same_server": flat_quality.same_server,
+            "same_rack": flat_quality.same_rack,
+            "cross_rack": flat_quality.cross_rack,
+            "weighted_cost": flat_quality.weighted_cost(),
+        },
+        {
+            "scheme": "hierarchical",
+            "same_server": hier_quality.same_server,
+            "same_rack": hier_quality.same_rack,
+            "cross_rack": hier_quality.cross_rack,
+            "weighted_cost": hier_quality.weighted_cost(),
+        },
+    ]
+    table = format_table(rows, title="Ablation: rack-aware partitioning")
+    print()
+    print(table)
+    save_table("ablation_hierarchical", table)
+    assert hier_quality.weighted_cost() <= flat_quality.weighted_cost() * 1.05
+    # Server-locality stays comparable.
+    assert hier_quality.same_server > flat_quality.same_server - 0.1

@@ -1,0 +1,86 @@
+"""Figure 7: throughput vs parallelism for three routing policies,
+at locality ∈ {60, 100}% and padding ∈ {0, 8 kB, 20 kB}.
+
+Paper claims asserted:
+- locality-aware clearly outperforms hash-based and worst-case;
+- only locality-aware scales (near-)linearly beyond parallelism 2;
+- at 100% locality, padding has no effect on locality-aware;
+- even at padding 0, remote routing costs ~20%.
+"""
+
+import pytest
+
+from helpers import pivot, save_table
+from repro.analysis.experiments import fig7
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(quick):
+    return fig7(quick=quick)
+
+
+def test_fig7_regenerate(rows, benchmark):
+    benchmark.pedantic(
+        lambda: fig7(parallelisms=(2,), localities=(0.6,), paddings=(0,)),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(rows, columns=[
+        "locality", "padding", "policy", "parallelism", "throughput",
+    ], title="Figure 7: throughput (tuples/s)")
+    print()
+    print(table)
+    save_table("fig07", table)
+
+
+def test_fig7_locality_aware_wins(rows):
+    series = {}
+    for row in rows:
+        key = (row["locality"], row["padding"], row["parallelism"])
+        series.setdefault(key, {})[row["policy"]] = row["throughput"]
+    for (locality, padding, parallelism), per_policy in series.items():
+        if parallelism < 2:
+            continue
+        assert per_policy["locality-aware"] >= per_policy["hash-based"], (
+            locality, padding, parallelism,
+        )
+        assert per_policy["locality-aware"] > per_policy["worst-case"]
+
+
+def test_fig7_only_locality_aware_scales_linearly(rows):
+    by_policy = pivot(
+        [r for r in rows if r["locality"] == 1.0 and r["padding"] == 20000],
+        "policy", "parallelism", "throughput",
+    )
+    la = by_policy["locality-aware"]
+    parallelisms = sorted(la)
+    n_max = parallelisms[-1]
+    # Locality-aware: near-linear speedup at max parallelism.
+    assert la[n_max] > 0.9 * n_max * la[1] if 1 in la else True
+    # Hash-based saturates well below linear at 20 kB tuples.
+    hash_series = by_policy["hash-based"]
+    base = hash_series.get(1, hash_series[min(hash_series)])
+    assert hash_series[n_max] < 0.55 * n_max * base
+
+
+def test_fig7_padding_irrelevant_at_full_locality(rows):
+    la = [
+        r for r in rows
+        if r["policy"] == "locality-aware" and r["locality"] == 1.0
+    ]
+    by_parallelism = pivot(la, "parallelism", "padding", "throughput")
+    for parallelism, per_padding in by_parallelism.items():
+        values = list(per_padding.values())
+        assert max(values) / min(values) < 1.02, parallelism
+
+
+def test_fig7_remote_penalty_exists_even_at_padding_zero(rows):
+    zero_pad = [
+        r for r in rows
+        if r["padding"] == 0 and r["locality"] == 1.0
+        and r["parallelism"] == max(x["parallelism"] for x in rows)
+    ]
+    per_policy = {r["policy"]: r["throughput"] for r in zero_pad}
+    penalty = 1 - per_policy["worst-case"] / per_policy["locality-aware"]
+    assert penalty > 0.10  # paper: ~22%

@@ -1,0 +1,71 @@
+"""Figure 9: throughput vs tuple size (locality 80%).
+
+Paper claims asserted:
+- the gap between locality-aware and the others grows with padding
+  and with parallelism;
+- in the most challenging configuration, hash-based and worst-case
+  perform similarly.
+"""
+
+import pytest
+
+from helpers import save_table, series_of
+from repro.analysis.experiments import fig9
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(quick):
+    return fig9(quick=quick)
+
+
+def test_fig9_regenerate(rows, benchmark):
+    benchmark.pedantic(
+        lambda: fig9(paddings=(1000,), parallelisms=(2,)),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(rows, columns=[
+        "parallelism", "policy", "padding", "throughput",
+    ], title="Figure 9: throughput vs padding (locality 80%)")
+    print()
+    print(table)
+    save_table("fig09", table)
+
+
+def _gap(rows, parallelism, padding):
+    per_policy = {
+        r["policy"]: r["throughput"]
+        for r in rows
+        if r["parallelism"] == parallelism and r["padding"] == padding
+    }
+    return per_policy["locality-aware"] / per_policy["hash-based"]
+
+
+def test_fig9_gap_grows_with_padding(rows):
+    parallelism = max(r["parallelism"] for r in rows)
+    paddings = sorted({r["padding"] for r in rows})
+    assert _gap(rows, parallelism, paddings[-1]) > _gap(
+        rows, parallelism, paddings[0]
+    )
+
+
+def test_fig9_gap_grows_with_parallelism(rows):
+    paddings = sorted({r["padding"] for r in rows})
+    parallelisms = sorted({r["parallelism"] for r in rows})
+    top_pad = paddings[-1]
+    assert _gap(rows, parallelisms[-1], top_pad) > _gap(
+        rows, parallelisms[0], top_pad
+    )
+
+
+def test_fig9_hash_and_worst_case_converge_when_challenged(rows):
+    parallelism = max(r["parallelism"] for r in rows)
+    padding = max(r["padding"] for r in rows)
+    per_policy = {
+        r["policy"]: r["throughput"]
+        for r in rows
+        if r["parallelism"] == parallelism and r["padding"] == padding
+    }
+    ratio = per_policy["hash-based"] / per_policy["worst-case"]
+    assert ratio < 1.6  # "very similar" up to model noise

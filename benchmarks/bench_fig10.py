@@ -1,0 +1,55 @@
+"""Figure 10: a flash hashtag's daily frequency across locations.
+
+Paper claim asserted: the same hashtag is correlated with *different*
+locations at *different* times (the reason reconfiguration must be
+online).
+"""
+
+import pytest
+
+from helpers import save_table
+from repro.analysis.experiments import fig10
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(quick):
+    return fig10(weeks=4 if quick else 8, quick=quick)
+
+
+def test_fig10_regenerate(rows, benchmark):
+    benchmark.pedantic(lambda: fig10(weeks=2), rounds=1, iterations=1)
+    table = format_table(rows, title="Figure 10: flash hashtag frequency")
+    print()
+    print(table)
+    save_table("fig10", table)
+
+
+def test_fig10_peaks_in_multiple_locations(rows):
+    locations = {row["location"] for row in rows}
+    assert len(locations) >= 2
+
+
+def test_fig10_peaks_on_different_days(rows):
+    peak_day = {}
+    for row in rows:
+        location = row["location"]
+        if (
+            location not in peak_day
+            or row["frequency"] > peak_day[location][1]
+        ):
+            peak_day[location] = (row["day"], row["frequency"])
+    days = {day for day, _ in peak_day.values()}
+    assert len(days) >= 2
+
+
+def test_fig10_spikes_are_bursty(rows):
+    """A flash event lasts a couple of days: each location's activity
+    is concentrated, not uniform across the trace."""
+    by_location = {}
+    for row in rows:
+        by_location.setdefault(row["location"], []).append(row["frequency"])
+    for location, frequencies in by_location.items():
+        assert max(frequencies) >= 2 * (
+            sum(frequencies) / len(frequencies)
+        ) or len(frequencies) <= 3

@@ -1,0 +1,91 @@
+"""Figure 11: locality (a) and load balance (b) over 25 weeks, for
+online / offline / hash-based routing at parallelism 6.
+
+Paper claims asserted:
+- hash-based locality stays around 1/6;
+- online and offline reach ~3x hash locality after the first week;
+- offline decays over time; online stays high (fluctuating
+  correlations need regular reconfiguration);
+- reconfigured tables start well balanced; hash stays fairly even;
+- the partitioner's predicted locality exceeds what the next week
+  achieves (new keys arrive).
+"""
+
+import statistics
+
+import pytest
+
+from helpers import save_table
+from repro.analysis.experiments import fig11, fig11_predicted_locality
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(quick):
+    return fig11(quick=quick)
+
+
+def _series(rows, mode, key):
+    return [r[key] for r in rows if r["mode"] == mode]
+
+
+def test_fig11_regenerate(rows, benchmark, quick):
+    benchmark.pedantic(
+        lambda: fig11(weeks=2, quick=True), rounds=1, iterations=1
+    )
+    table = format_table(rows, title="Figure 11: weekly locality / balance")
+    print()
+    print(table)
+    save_table("fig11", table)
+
+
+def test_fig11a_hash_locality_is_one_over_n(rows):
+    hash_locality = _series(rows, "hash-based", "locality")
+    assert statistics.mean(hash_locality) == pytest.approx(1 / 6, abs=0.05)
+
+
+def test_fig11a_reconfigured_locality_far_above_hash(rows):
+    hash_mean = statistics.mean(_series(rows, "hash-based", "locality"))
+    online = _series(rows, "online", "locality")[1:]
+    offline = _series(rows, "offline", "locality")[1:]
+    assert statistics.mean(online) > 2.5 * hash_mean
+    assert statistics.mean(offline) > 2.0 * hash_mean
+
+
+def test_fig11a_offline_decays_online_does_not(rows):
+    online = _series(rows, "online", "locality")
+    offline = _series(rows, "offline", "locality")
+    early = offline[1]
+    late = statistics.mean(offline[-3:])
+    assert late < early - 0.05  # offline decays
+    online_late = statistics.mean(online[-3:])
+    assert online_late > late + 0.05  # online stays higher
+
+
+def test_fig11b_tables_start_balanced(rows):
+    # The week right after the first configuration is balanced near
+    # the α bound, for both online and offline.
+    for mode in ("online", "offline"):
+        balance = _series(rows, mode, "load_balance")
+        assert min(balance[1:3]) < 1.35
+
+
+def test_fig11b_hash_balance_steady(rows):
+    balance = _series(rows, "hash-based", "load_balance")
+    assert statistics.mean(balance) < 1.45
+    assert max(balance) - min(balance) < 0.5
+
+
+def test_fig11_predicted_exceeds_achieved(quick):
+    result = fig11_predicted_locality(quick=quick)
+    print()
+    print(
+        f"predicted={result['predicted']:.2f} "
+        f"same-week={result['achieved_on_training_week']:.2f} "
+        f"next-week={result['achieved_on_next_week']:.2f}"
+    )
+    assert result["predicted"] > result["achieved_on_next_week"] + 0.05
+    assert (
+        result["achieved_on_training_week"]
+        > result["achieved_on_next_week"]
+    )

@@ -1,0 +1,65 @@
+"""Figure 12: locality achieved vs number of collected edges (pairs),
+for parallelisms 2-6.
+
+Paper claims asserted:
+- more collected pairs -> better locality;
+- a small fraction of the edges (~0.1-1%) already doubles the
+  locality vs hash for parallelism 6 (bounded memory is enough);
+- with a tiny budget locality approaches hash (1/n).
+"""
+
+import pytest
+
+from helpers import save_table, series_of
+from repro.analysis.experiments import fig12
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(quick):
+    return fig12(quick=quick)
+
+
+def test_fig12_regenerate(rows, benchmark):
+    benchmark.pedantic(
+        lambda: fig12(edge_budgets=(100,), parallelisms=(2,), quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(rows, columns=[
+        "parallelism", "budget", "edges", "locality", "predicted",
+    ], title="Figure 12: locality vs collected edges")
+    print()
+    print(table)
+    save_table("fig12", table)
+
+
+def test_fig12_locality_grows_with_budget(rows):
+    for parallelism in sorted({r["parallelism"] for r in rows}):
+        series = series_of(
+            rows, {"parallelism": parallelism}, "edges", "locality"
+        )
+        assert series[-1][1] > series[0][1]
+
+
+def test_fig12_small_budget_doubles_locality(rows, quick):
+    if quick:
+        pytest.skip("needs the full budget grid")
+    n = max(r["parallelism"] for r in rows)
+    hash_level = 1.0 / n
+    # ~1% of the edges is enough to double the hash locality.
+    total = max(r["edges"] for r in rows if r["parallelism"] == n)
+    small = [
+        r for r in rows
+        if r["parallelism"] == n and r["edges"] <= max(total * 0.02, 1000)
+    ]
+    assert max(r["locality"] for r in small) > 2 * hash_level
+
+
+def test_fig12_tiny_budget_close_to_hash(rows):
+    for parallelism in sorted({r["parallelism"] for r in rows}):
+        series = series_of(
+            rows, {"parallelism": parallelism}, "edges", "locality"
+        )
+        tiny = series[0][1]
+        assert tiny < 1.0 / parallelism + 0.15

@@ -1,0 +1,57 @@
+"""Figure 14: average throughput vs parallelism (4 kB tuples,
+1 Gb/s network), with and without reconfiguration.
+
+Paper claims asserted:
+- with reconfiguration, throughput grows with parallelism;
+- the gap between the two configurations grows with parallelism.
+"""
+
+import pytest
+
+from helpers import save_table
+from repro.analysis.experiments import fig14
+from repro.analysis.report import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(quick):
+    return fig14(quick=quick)
+
+
+def test_fig14_regenerate(rows, benchmark):
+    benchmark.pedantic(lambda: fig14(quick=True), rounds=1, iterations=1)
+    table = format_table(rows, title="Figure 14: avg throughput (1 Gb/s, 4 kB)")
+    print()
+    print(table)
+    save_table("fig14", table)
+
+
+def _series(rows, reconfigure):
+    return {
+        r["parallelism"]: r["throughput"]
+        for r in rows
+        if r["reconfigure"] is reconfigure
+    }
+
+
+def test_fig14_reconfiguration_always_wins(rows):
+    with_reconf = _series(rows, True)
+    without = _series(rows, False)
+    for parallelism in with_reconf:
+        assert with_reconf[parallelism] > without[parallelism]
+
+
+def test_fig14_scales_with_parallelism(rows):
+    with_reconf = _series(rows, True)
+    parallelisms = sorted(with_reconf)
+    assert with_reconf[parallelisms[-1]] > 1.2 * with_reconf[parallelisms[0]]
+
+
+def test_fig14_gap_grows_with_parallelism(rows):
+    with_reconf = _series(rows, True)
+    without = _series(rows, False)
+    parallelisms = sorted(with_reconf)
+    low, high = parallelisms[0], parallelisms[-1]
+    gap_low = with_reconf[low] - without[low]
+    gap_high = with_reconf[high] - without[high]
+    assert gap_high > gap_low

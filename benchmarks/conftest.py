@@ -1,0 +1,14 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_BENCH_QUICK=1`` to run every figure on a reduced grid
+(useful while iterating); the default regenerates the full figures.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"

@@ -1,0 +1,26 @@
+"""repro — Locality-Aware Routing in Stateful Streaming Applications.
+
+A from-scratch reproduction of Caneill, El Rheddane, Leroy and De Palma
+(Middleware 2016): a Storm-like discrete-event streaming engine, the
+locality-aware routing optimizer (SpaceSaving statistics, bipartite key
+graph, multilevel graph partitioning, online reconfiguration with state
+migration), and the workloads and experiment harness to regenerate
+every figure of the paper's evaluation.
+
+Subpackages
+-----------
+- :mod:`repro.engine` — the streaming engine simulation.
+- :mod:`repro.core` — the paper's contribution.
+- :mod:`repro.spacesaving` — bounded-memory frequency sketch.
+- :mod:`repro.partitioning` — multilevel graph partitioner.
+- :mod:`repro.workloads` — synthetic, Twitter-like, Flickr-like data.
+- :mod:`repro.analysis` — per-figure experiment drivers.
+
+See ``examples/quickstart.py`` for a complete runnable example.
+"""
+
+from repro import errors
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,17 @@
+"""Experiment drivers and evaluation harnesses.
+
+- :mod:`~repro.analysis.trace_eval` — trace-driven evaluation of
+  routing policies (locality / load balance without the engine), used
+  by the Fig. 10–12 experiments.
+- :mod:`~repro.analysis.experiments` — one driver per paper figure;
+  also runnable as ``python -m repro.analysis.experiments <figure>``.
+- :mod:`~repro.analysis.report` — plain-text table formatting.
+"""
+
+from repro.analysis.trace_eval import (
+    EvalResult,
+    TwoHopEvaluator,
+    weekly_series,
+)
+
+__all__ = ["TwoHopEvaluator", "EvalResult", "weekly_series"]

@@ -1,0 +1,449 @@
+"""One driver per figure of the paper's evaluation (Section 4).
+
+Each ``figNN`` function regenerates the corresponding figure's data
+and returns it as a list of dict rows; the benchmarks in
+``benchmarks/`` call these and assert the paper's qualitative claims.
+Run standalone with::
+
+    python -m repro.analysis.experiments fig7 [--quick]
+
+Time axis note: the engine simulates tuple-level behaviour, so the
+Fig. 13/14 experiments compress the paper's 30-minute runs with
+10-minute reconfiguration periods into seconds-long simulated runs
+with proportionally shorter periods. Rates (Ktuples/s) stay
+comparable; only the wall-clock axis is compressed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.trace_eval import TwoHopEvaluator, weekly_series
+from repro.core import Manager, ManagerConfig
+from repro.engine import Cluster, RunConfig, Simulator, deploy
+from repro.engine.metrics import ThroughputSampler
+from repro.engine.runner import run
+from repro.workloads import (
+    FlickrConfig,
+    FlickrWorkload,
+    SyntheticConfig,
+    SyntheticWorkload,
+    TwitterConfig,
+    TwitterWorkload,
+)
+from repro.workloads.synthetic import POLICIES
+
+#: Short simulated measurement window: transients settle within a few
+#: thousand tuples (max_pending bounded), so this is plenty.
+DEFAULT_DURATION_S = 0.30
+DEFAULT_WARMUP_S = 0.10
+
+
+# ----------------------------------------------------------------------
+# Synthetic-workload throughput experiments (Figures 7, 8, 9)
+# ----------------------------------------------------------------------
+
+
+def _synthetic_run(
+    parallelism: int,
+    locality: float,
+    padding: int,
+    policy: str,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    bandwidth_gbps: float = 10.0,
+    seed: int = 0,
+) -> Dict:
+    workload = SyntheticWorkload(
+        SyntheticConfig(
+            parallelism=parallelism,
+            locality=locality,
+            padding=padding,
+            seed=seed,
+        )
+    )
+    result = run(
+        workload.topology(policy),
+        RunConfig(
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            num_servers=parallelism,
+            bandwidth_gbps=bandwidth_gbps,
+        ),
+    )
+    return {
+        "policy": policy,
+        "parallelism": parallelism,
+        "locality": locality,
+        "padding": padding,
+        "throughput": result.throughput,
+        "measured_locality": result.locality,
+    }
+
+
+def fig7(
+    parallelisms: Optional[Sequence[int]] = None,
+    localities: Sequence[float] = (0.6, 1.0),
+    paddings: Optional[Sequence[int]] = None,
+    policies: Sequence[str] = POLICIES,
+    quick: bool = False,
+) -> List[Dict]:
+    """Throughput vs parallelism for each (locality, padding) panel."""
+    if parallelisms is None:
+        parallelisms = (1, 2, 4, 6) if quick else (1, 2, 3, 4, 5, 6)
+    if paddings is None:
+        paddings = (0, 20000) if quick else (0, 8000, 20000)
+    rows = []
+    for locality in localities:
+        for padding in paddings:
+            for policy in policies:
+                for parallelism in parallelisms:
+                    rows.append(
+                        _synthetic_run(parallelism, locality, padding, policy)
+                    )
+    return rows
+
+
+def fig8(
+    localities: Optional[Sequence[float]] = None,
+    parallelisms: Optional[Sequence[int]] = None,
+    padding: int = 12000,
+    policies: Sequence[str] = POLICIES,
+    quick: bool = False,
+) -> List[Dict]:
+    """Throughput vs locality at 12 kB padding."""
+    if localities is None:
+        localities = (0.6, 0.8, 1.0) if quick else (0.6, 0.7, 0.8, 0.9, 1.0)
+    if parallelisms is None:
+        parallelisms = (2, 6) if quick else (2, 4, 6)
+    rows = []
+    for parallelism in parallelisms:
+        for policy in policies:
+            for locality in localities:
+                rows.append(
+                    _synthetic_run(parallelism, locality, padding, policy)
+                )
+    return rows
+
+
+def fig9(
+    paddings: Optional[Sequence[int]] = None,
+    parallelisms: Optional[Sequence[int]] = None,
+    locality: float = 0.8,
+    policies: Sequence[str] = POLICIES,
+    quick: bool = False,
+) -> List[Dict]:
+    """Throughput vs tuple size at 80% locality."""
+    if paddings is None:
+        paddings = (0, 2000, 5000) if quick else (
+            0, 1000, 2000, 3000, 4000, 5000,
+        )
+    if parallelisms is None:
+        parallelisms = (2, 6) if quick else (2, 4, 6)
+    rows = []
+    for parallelism in parallelisms:
+        for policy in policies:
+            for padding in paddings:
+                rows.append(
+                    _synthetic_run(parallelism, locality, padding, policy)
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Twitter trace experiments (Figures 10, 11, 12)
+# ----------------------------------------------------------------------
+
+
+def _twitter(quick: bool) -> TwitterWorkload:
+    if quick:
+        return TwitterWorkload(
+            TwitterConfig(
+                tweets_per_week=10000,
+                num_locations=200,
+                base_hashtags=1500,
+                new_hashtags_per_week=150,
+            )
+        )
+    return TwitterWorkload(TwitterConfig(tweets_per_week=30000))
+
+
+def fig10(weeks: int = 8, quick: bool = False) -> List[Dict]:
+    """Daily frequency of the recurring flash hashtag per location."""
+    workload = _twitter(quick)
+    tag = workload.config.flash_tag
+    series = workload.daily_frequency(tag, weeks)
+    # The three locations where the tag peaks the most, like the
+    # Virginia/Florida/Texas panel of the paper.
+    top = sorted(
+        series.items(), key=lambda kv: max(kv[1].values()), reverse=True
+    )[:3]
+    rows = []
+    for location, days in top:
+        for day in sorted(days):
+            rows.append(
+                {
+                    "tag": tag,
+                    "location": location,
+                    "day": day,
+                    "frequency": days[day],
+                }
+            )
+    return rows
+
+
+def fig11(
+    weeks: int = 25,
+    num_servers: int = 6,
+    sketch_capacity: Optional[int] = 100_000,
+    quick: bool = False,
+) -> List[Dict]:
+    """Locality and load balance over time: online vs offline vs hash."""
+    if quick:
+        weeks = 8
+    workload = _twitter(quick)
+    rows = []
+    for mode in ("online", "offline", "hash-based"):
+        results = weekly_series(
+            workload.week_pairs,
+            weeks,
+            num_servers,
+            mode,
+            sketch_capacity=sketch_capacity,
+        )
+        for week, result in enumerate(results):
+            rows.append(
+                {
+                    "mode": mode,
+                    "week": week,
+                    "locality": result.locality,
+                    "load_balance": result.load_balance,
+                    "unseen_fraction": result.unseen_fraction,
+                }
+            )
+    return rows
+
+
+def fig11_predicted_locality(quick: bool = False) -> Dict:
+    """The Section 4.3 side claim: the partitioner predicts a higher
+    locality on the data it saw than what next week achieves."""
+    workload = _twitter(quick)
+    evaluator = TwoHopEvaluator(6)
+    week0 = list(workload.week_pairs(0))
+    tables, predicted = evaluator.plan_tables(week0)
+    achieved_same = evaluator.evaluate(week0, tables).locality
+    achieved_next = evaluator.evaluate(
+        list(workload.week_pairs(1)), tables
+    ).locality
+    return {
+        "predicted": predicted,
+        "achieved_on_training_week": achieved_same,
+        "achieved_on_next_week": achieved_next,
+    }
+
+
+def fig12(
+    edge_budgets: Optional[Sequence[Optional[int]]] = None,
+    parallelisms: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> List[Dict]:
+    """Locality achieved vs number of collected edges (pairs)."""
+    if edge_budgets is None:
+        edge_budgets = (10, 1000, None) if quick else (
+            10, 100, 1000, 10_000, 100_000, None,
+        )
+    if parallelisms is None:
+        parallelisms = (2, 6) if quick else (2, 3, 4, 5, 6)
+    workload = _twitter(quick)
+    train = list(workload.week_pairs(0))
+    test = list(workload.week_pairs(1))
+    total_edges = len(set(train))
+    rows = []
+    for parallelism in parallelisms:
+        evaluator = TwoHopEvaluator(parallelism)
+        for budget in edge_budgets:
+            tables, predicted = evaluator.plan_tables(
+                train, max_edges=budget
+            )
+            result = evaluator.evaluate(test, tables)
+            rows.append(
+                {
+                    "parallelism": parallelism,
+                    "edges": budget if budget is not None else total_edges,
+                    "budget": "all" if budget is None else budget,
+                    "locality": result.locality,
+                    "predicted": predicted,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Flickr reconfiguration experiments (Figures 13, 14)
+# ----------------------------------------------------------------------
+
+
+def _flickr_run(
+    parallelism: int,
+    padding: int,
+    bandwidth_gbps: float,
+    reconfigure: bool,
+    duration_s: float = 1.5,
+    period_s: float = 0.5,
+    sample_interval_s: float = 0.05,
+    quick: bool = False,
+) -> Dict:
+    """One Fig. 13-style run: the Flickr application with or without
+    periodic reconfiguration; returns the throughput time series.
+
+    The paper runs 30 minutes with a 10-minute period; we compress the
+    time axis (duration : period stays 3 : 1).
+    """
+    # The workload itself is cheap to generate; ``quick`` only trims
+    # the experiment grids, never the data realism.
+    workload = FlickrWorkload(FlickrConfig())
+    sim = Simulator()
+    cluster = Cluster(sim, parallelism, bandwidth_gbps=bandwidth_gbps)
+    deployment = deploy(
+        sim, cluster, workload.topology(parallelism, padding=padding)
+    )
+    manager = None
+    if reconfigure:
+        manager = Manager(
+            deployment,
+            ManagerConfig(period_s=period_s, sketch_capacity=100_000),
+        )
+        manager.start()
+    sampler = ThroughputSampler(
+        sim, deployment.metrics, "B", sample_interval_s
+    )
+    sampler.start()
+    deployment.start()
+    sim.run(until=duration_s)
+
+    samples = [
+        {"time": t, "throughput": rate} for t, rate in sampler.samples
+    ]
+    before = [s["throughput"] for s in samples if s["time"] <= period_s]
+    # "the average is measured after the first reconfiguration": allow
+    # a short settle margin past the reconfiguration instant.
+    settle = period_s + 0.15
+    after = [s["throughput"] for s in samples if s["time"] > settle]
+    return {
+        "parallelism": parallelism,
+        "padding": padding,
+        "bandwidth_gbps": bandwidth_gbps,
+        "reconfigure": reconfigure,
+        "samples": samples,
+        "mean_before_first_reconf": sum(before) / max(len(before), 1),
+        "mean_after_first_reconf": sum(after) / max(len(after), 1),
+        "rounds": len(manager.completed_rounds) if manager else 0,
+    }
+
+
+def fig13(
+    bandwidths: Optional[Sequence[float]] = None,
+    paddings: Optional[Sequence[int]] = None,
+    parallelism: int = 6,
+    quick: bool = False,
+) -> List[Dict]:
+    """Throughput over time, with vs without reconfiguration."""
+    if bandwidths is None:
+        bandwidths = (1.0,) if quick else (10.0, 1.0)
+    if paddings is None:
+        paddings = (4000,) if quick else (4000, 8000, 12000)
+    rows = []
+    for bandwidth in bandwidths:
+        for padding in paddings:
+            for reconfigure in (True, False):
+                rows.append(
+                    _flickr_run(
+                        parallelism,
+                        padding,
+                        bandwidth,
+                        reconfigure,
+                        quick=quick,
+                    )
+                )
+    return rows
+
+
+def fig14(
+    parallelisms: Optional[Sequence[int]] = None,
+    padding: int = 4000,
+    bandwidth_gbps: float = 1.0,
+    quick: bool = False,
+) -> List[Dict]:
+    """Average throughput vs parallelism, 4 kB tuples on 1 Gb/s.
+
+    With reconfiguration, the average is measured after the first
+    reconfiguration, as in the paper.
+    """
+    if parallelisms is None:
+        parallelisms = (2, 6) if quick else (2, 3, 4, 5, 6)
+    rows = []
+    for parallelism in parallelisms:
+        for reconfigure in (True, False):
+            result = _flickr_run(
+                parallelism, padding, bandwidth_gbps, reconfigure,
+                duration_s=2.0,
+                quick=quick,
+            )
+            rows.append(
+                {
+                    "parallelism": parallelism,
+                    "reconfigure": reconfigure,
+                    "throughput": result["mean_after_first_reconf"],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+FIGURES = {
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+    import os
+
+    from repro.analysis.report import format_table
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate one of the paper's figures."
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out-dir", default="results")
+    args = parser.parse_args(argv)
+
+    figures = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name in figures:
+        rows = FIGURES[name](quick=args.quick)
+        if name == "fig13":
+            for row in rows:
+                row.pop("samples", None)
+        table = format_table(rows, title=f"{name} ({'quick' if args.quick else 'full'})")
+        print(table)
+        print()
+        path = os.path.join(args.out_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

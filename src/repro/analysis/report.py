@@ -1,0 +1,47 @@
+"""Plain-text tables for experiment output (and EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    cells: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells.append([_fmt(row.get(c)) for c in columns])
+    widths = [
+        max(len(line[i]) for line in cells) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = cells
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ktuples(value: float) -> float:
+    """Tuples/s → Ktuples/s, rounded for display."""
+    return round(value / 1000.0, 1)

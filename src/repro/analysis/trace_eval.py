@@ -1,0 +1,211 @@
+"""Trace-driven evaluation of routing policies.
+
+For the locality / load-balance studies (Fig. 11 and 12) the paper
+measures *where tuples would be routed*, which does not require timing
+a cluster. This module replays (first key, second key) pairs through
+the exact routing logic the engine uses — tables with hash fallback —
+and reports locality and load balance per policy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.assignment import RoutedStream, compute_assignment, expected_locality
+from repro.core.keygraph import KeyGraph
+from repro.core.routing_table import RoutingTable
+from repro.errors import WorkloadError
+from repro.spacesaving import SpaceSaving
+
+Pair = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class EvalResult:
+    """Routing quality of one policy over one trace window."""
+
+    #: fraction of pairs whose two keys route to the same server
+    locality: float
+    #: max(load) / mean(load), worst over the two stateful POs
+    load_balance: float
+    #: per-instance tuple counts for the first and second hop
+    loads_first: List[int] = field(repr=False, default_factory=list)
+    loads_second: List[int] = field(repr=False, default_factory=list)
+    #: fraction of pairs with at least one key missing from the tables
+    unseen_fraction: float = 0.0
+    pairs: int = 0
+
+
+class TwoHopEvaluator:
+    """Replays pairs through the two fields-grouped hops of the
+    canonical application (location → hashtag, or tag → country)."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        in_stream: str = "S->A",
+        out_stream: str = "A->B",
+    ) -> None:
+        if num_servers < 1:
+            raise WorkloadError(
+                f"num_servers must be >= 1, got {num_servers}"
+            )
+        self.num_servers = num_servers
+        placements = list(range(num_servers))
+        self.first_hop = RoutedStream(
+            in_stream, "S", "A", placements, stateful_dst=True
+        )
+        self.second_hop = RoutedStream(
+            out_stream, "A", "B", placements, stateful_dst=True
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        pairs: Iterable[Pair],
+        tables: Optional[Dict[str, RoutingTable]] = None,
+    ) -> EvalResult:
+        """Route every pair; ``tables=None`` evaluates pure hashing."""
+        table1 = (tables or {}).get(self.first_hop.name)
+        table2 = (tables or {}).get(self.second_hop.name)
+        loads1 = Counter()
+        loads2 = Counter()
+        local = 0
+        unseen = 0
+        total = 0
+        for first_key, second_key in pairs:
+            owner1 = table1.lookup(first_key) if table1 else None
+            if owner1 is None:
+                owner1 = self.first_hop.fallback_instance(first_key)
+                missing1 = True
+            else:
+                missing1 = False
+            owner2 = table2.lookup(second_key) if table2 else None
+            if owner2 is None:
+                owner2 = self.second_hop.fallback_instance(second_key)
+                missing2 = True
+            else:
+                missing2 = False
+            loads1[owner1] += 1
+            loads2[owner2] += 1
+            if owner1 == owner2:
+                local += 1
+            if tables and (missing1 or missing2):
+                unseen += 1
+            total += 1
+
+        n = self.num_servers
+        return EvalResult(
+            locality=(local / total) if total else 1.0,
+            load_balance=max(
+                self._balance(loads1, total), self._balance(loads2, total)
+            ),
+            loads_first=[loads1.get(i, 0) for i in range(n)],
+            loads_second=[loads2.get(i, 0) for i in range(n)],
+            unseen_fraction=(unseen / total) if total else 0.0,
+            pairs=total,
+        )
+
+    def _balance(self, loads: Counter, total: int) -> float:
+        if total == 0:
+            return 1.0
+        mean = total / self.num_servers
+        return max(loads.values()) / mean
+
+    # ------------------------------------------------------------------
+    # Planning (the manager's analysis, trace-side)
+    # ------------------------------------------------------------------
+
+    def plan_tables(
+        self,
+        pairs: Iterable[Pair],
+        sketch_capacity: Optional[int] = None,
+        max_edges: Optional[int] = None,
+        imbalance: float = 1.03,
+        seed: int = 0,
+    ) -> Tuple[Dict[str, RoutingTable], float]:
+        """Compute routing tables from observed pairs.
+
+        ``sketch_capacity`` bounds statistics collection with
+        SpaceSaving (the online collector); None counts exactly (the
+        offline analysis). ``max_edges`` further truncates the key
+        graph before partitioning (the Fig. 12 budget).
+        """
+        if sketch_capacity is not None:
+            sketch = SpaceSaving(sketch_capacity)
+            for pair in pairs:
+                sketch.offer(pair)
+            counts = {e.item: e.count for e in sketch.items()}
+        else:
+            counts = Counter(pairs)
+
+        graph = KeyGraph()
+        for (first_key, second_key), count in counts.items():
+            graph.add_pair(
+                self.first_hop.name,
+                first_key,
+                self.second_hop.name,
+                second_key,
+                count,
+            )
+        if max_edges is not None:
+            graph = graph.top_edges(max_edges)
+        assignment = compute_assignment(
+            graph, self.num_servers, imbalance=imbalance, seed=seed
+        )
+        identity = {server: server for server in range(self.num_servers)}
+        tables = {
+            self.first_hop.name: assignment.table_for(
+                self.first_hop.name, identity
+            ),
+            self.second_hop.name: assignment.table_for(
+                self.second_hop.name, identity
+            ),
+        }
+        return tables, expected_locality(graph, assignment)
+
+
+MODES = ("online", "offline", "hash-based")
+
+
+def weekly_series(
+    week_pairs_fn,
+    weeks: int,
+    num_servers: int,
+    mode: str,
+    sketch_capacity: Optional[int] = None,
+    max_edges: Optional[int] = None,
+    imbalance: float = 1.03,
+    seed: int = 0,
+) -> List[EvalResult]:
+    """The Fig. 11 experiment loop for one policy.
+
+    ``week_pairs_fn(week)`` yields that week's (key1, key2) pairs.
+    Week ``w`` is evaluated with the tables available *before* it:
+    nothing at week 0; with ``online`` the tables are then recomputed
+    from week ``w``'s data (reconfiguration every week); with
+    ``offline`` they are computed once, from week 0; ``hash-based``
+    never uses tables.
+    """
+    if mode not in MODES:
+        raise WorkloadError(f"unknown mode {mode!r}; expected one of {MODES}")
+    evaluator = TwoHopEvaluator(num_servers)
+    tables: Optional[Dict[str, RoutingTable]] = None
+    results: List[EvalResult] = []
+    for week in range(weeks):
+        pairs = list(week_pairs_fn(week))
+        results.append(evaluator.evaluate(pairs, tables))
+        if mode == "online" or (mode == "offline" and week == 0):
+            tables, _ = evaluator.plan_tables(
+                pairs,
+                sketch_capacity=sketch_capacity,
+                max_edges=max_edges,
+                imbalance=imbalance,
+                seed=seed + week,
+            )
+    return results

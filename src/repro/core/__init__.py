@@ -1,0 +1,50 @@
+"""The paper's contribution: locality-aware routing for stateful
+streaming applications.
+
+Pipeline (Section 3 of the paper):
+
+1. :mod:`~repro.core.instrumentation` — operator instances count
+   *(input key, output key)* pairs in bounded memory (SpaceSaving).
+2. :mod:`~repro.core.keygraph` — the manager merges the statistics
+   into a bipartite key graph (vertices = keys weighted by frequency,
+   edges = co-occurrence counts).
+3. :mod:`~repro.core.assignment` — the graph is partitioned across
+   servers under a balance constraint α, yielding per-stream
+   :mod:`routing tables <repro.core.routing_table>` and migration
+   lists.
+4. :mod:`~repro.core.reconfiguration` /
+   :mod:`~repro.core.manager` — the online protocol (Algorithm 1)
+   pushes tables through the DAG in topological order and migrates the
+   state of reassigned keys without stopping the stream.
+
+:mod:`~repro.core.offline` covers the offline-analysis variant;
+:mod:`~repro.core.estimator` and :mod:`~repro.core.hierarchical`
+implement the paper's future-work extensions.
+"""
+
+from repro.core.assignment import (
+    KeyAssignment,
+    ReconfigurationPlan,
+    compute_assignment,
+    expected_locality,
+    plan_reconfiguration,
+)
+from repro.core.instrumentation import PairTracker
+from repro.core.keygraph import KeyGraph
+from repro.core.manager import Manager, ManagerConfig
+from repro.core.offline import offline_tables
+from repro.core.routing_table import RoutingTable
+
+__all__ = [
+    "PairTracker",
+    "KeyGraph",
+    "RoutingTable",
+    "KeyAssignment",
+    "ReconfigurationPlan",
+    "compute_assignment",
+    "expected_locality",
+    "plan_reconfiguration",
+    "Manager",
+    "ManagerConfig",
+    "offline_tables",
+]

@@ -1,0 +1,399 @@
+"""The Manager: statistics collection, planning, and orchestration.
+
+The manager runs alongside the application (Section 3.3). Periodically
+(or on demand) it executes one reconfiguration *round*:
+
+1. collect pair statistics from every instrumented POI;
+2. build the bipartite key graph and partition it across servers;
+3. derive routing tables and migration lists
+   (:func:`repro.core.assignment.plan_reconfiguration`);
+4. drive Algorithm 1 through the
+   :class:`~repro.core.reconfiguration.ReconfigurationAgent` attached
+   to every executor.
+
+Manager↔POI RPCs are modeled with a fixed control-plane latency; the
+in-band steps (PROPAGATE/MIGRATE) go through the data channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.assignment import (
+    DEFAULT_IMBALANCE,
+    ReconfigurationPlan,
+    RoutedStream,
+    plan_reconfiguration,
+)
+from repro.core.instrumentation import PairTracker
+from repro.core.keygraph import KeyGraph
+from repro.core.reconfiguration import (
+    PROPAGATE,
+    PoiReconfiguration,
+    ReconfigurationAgent,
+    install_agents,
+)
+from repro.core.routing_table import RoutingTable
+from repro.engine.executor import ControlMessage, SpoutExecutor
+from repro.engine.grouping import TableFieldsGrouping
+from repro.engine.operators import StatefulBolt
+from repro.errors import ReconfigurationError
+from repro.spacesaving import SpaceSaving
+
+
+@dataclass
+class ManagerConfig:
+    """Tunables of the manager."""
+
+    #: Reconfigure every this many simulated seconds; None = manual only.
+    period_s: Optional[float] = None
+    #: Balance constraint α passed to the partitioner.
+    imbalance: float = DEFAULT_IMBALANCE
+    #: SpaceSaving capacity per instrumented (in, out) stream pair.
+    sketch_capacity: int = 4096
+    #: Keep only this many heaviest pairs when partitioning (Fig. 12).
+    max_edges: Optional[int] = None
+    #: One-way latency of manager <-> POI control RPCs.
+    rpc_latency_s: float = 1.0e-3
+    #: Seed for the partitioner.
+    seed: int = 0
+    #: Statistics collector factory (swap in ExactCounter for offline).
+    sketch_factory: Callable[[int], object] = SpaceSaving
+    #: Optional benefit estimator (core.estimator): when set, a planned
+    #: reconfiguration is only deployed if its projected benefit covers
+    #: the migration cost (the paper's future-work extension).
+    estimator: Optional[object] = None
+
+
+@dataclass
+class RoundRecord:
+    """Bookkeeping of one reconfiguration round (for tests/benches)."""
+
+    round_id: int
+    started_at: float
+    tables_sent_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    plan: Optional[ReconfigurationPlan] = None
+    collected_pairs: int = 0
+    skipped: bool = False
+    #: set when an estimator vetoed deployment ("not worthwhile")
+    vetoed: bool = False
+    #: the estimator's Estimate, when an estimator is configured
+    estimate: Optional[object] = None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class Manager:
+    """Coordinator of locality-aware routing for one deployment."""
+
+    def __init__(self, deployment, config: Optional[ManagerConfig] = None):
+        self.deployment = deployment
+        self.config = config or ManagerConfig()
+        self.sim = deployment.sim
+        self.rounds: List[RoundRecord] = []
+        self.current_tables: Dict[str, RoutingTable] = {}
+        self._agents: Dict[Tuple[str, int], ReconfigurationAgent] = {}
+        self._instrumented: List = []
+        self._routed_streams: List[RoutedStream] = []
+        self._round_active = False
+        self._round_id = 0
+        self._collect_outstanding = 0
+        self._ack_outstanding = 0
+        self._complete_outstanding = 0
+        self._stats: Dict = {}
+        self._on_round_complete: Optional[Callable] = None
+        self._stopped = False
+        self._timer = None
+        self._install()
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def _install(self) -> None:
+        topology = self.deployment.topology
+        routed = [
+            stream
+            for stream in topology.streams
+            if isinstance(stream.grouping, TableFieldsGrouping)
+        ]
+        if not routed:
+            raise ReconfigurationError(
+                "no TableFieldsGrouping streams to manage; use "
+                "TableFieldsGrouping on the fields-grouped streams"
+            )
+        for stream in routed:
+            instances = self.deployment.instances(stream.dst)
+            stateful = all(
+                isinstance(e.operator, StatefulBolt) for e in instances
+            )
+            self._routed_streams.append(
+                RoutedStream(
+                    name=stream.name,
+                    src_op=stream.src,
+                    dst_op=stream.dst,
+                    dst_placements=self.deployment.placement_of(stream.dst),
+                    stateful_dst=stateful,
+                )
+            )
+        # A stateful operator's keys live in exactly one namespace, so
+        # it must have at most one table-routed input stream.
+        routed_inputs: Dict[str, int] = {}
+        for stream in routed:
+            routed_inputs[stream.dst] = routed_inputs.get(stream.dst, 0) + 1
+        for op, count in routed_inputs.items():
+            if count > 1:
+                raise ReconfigurationError(
+                    f"operator {op!r} has {count} table-routed inputs; "
+                    f"at most one is supported"
+                )
+
+        # Instrument operators observing key pairs: keyed input and a
+        # table-routed output.
+        routed_names = {s.name for s in routed}
+        for op in topology.operators.values():
+            has_keyed_input = any(
+                getattr(s.grouping, "key_fn", None) is not None
+                for s in topology.inputs_of(op.name)
+            )
+            has_routed_output = any(
+                s.name in routed_names for s in topology.outputs_of(op.name)
+            )
+            if has_keyed_input and has_routed_output:
+                for executor in self.deployment.instances(op.name):
+                    executor.instrumentation = PairTracker(
+                        op.name,
+                        capacity=self.config.sketch_capacity,
+                        sketch_factory=self.config.sketch_factory,
+                    )
+                    self._instrumented.append(executor)
+        if not self._instrumented:
+            raise ReconfigurationError(
+                "no operator observes key pairs (needs a keyed input "
+                "and a table-routed output)"
+            )
+        self._agents = install_agents(self.deployment, self)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm periodic reconfiguration (config.period_s)."""
+        if self.config.period_s is None:
+            raise ReconfigurationError(
+                "ManagerConfig.period_s is None; call reconfigure() manually"
+            )
+        self._stopped = False
+        self._timer = self.sim.schedule(
+            self.config.period_s, self._periodic_tick
+        )
+
+    def stop(self) -> None:
+        """Disarm periodic reconfiguration (in-flight rounds finish)."""
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def reconfigure(self, on_complete: Optional[Callable] = None) -> bool:
+        """Begin one asynchronous reconfiguration round.
+
+        Returns False (and does nothing) when a round is already in
+        flight. ``on_complete(record)`` fires when the round finishes.
+        """
+        if self._round_active:
+            return False
+        self._round_active = True
+        self._round_id += 1
+        self._on_round_complete = on_complete
+        record = RoundRecord(self._round_id, started_at=self.sim.now)
+        self.rounds.append(record)
+        self._stats = {}
+        self._collect_outstanding = len(self._instrumented)
+        latency = self.config.rpc_latency_s
+        for executor in self._instrumented:  # step 1: GET_METRICS
+            self.sim.schedule(latency, self._rpc_get_metrics, executor)
+        return True
+
+    @property
+    def round_active(self) -> bool:
+        return self._round_active
+
+    @property
+    def completed_rounds(self) -> List[RoundRecord]:
+        return [r for r in self.rounds if r.completed_at is not None]
+
+    # ------------------------------------------------------------------
+    # Round internals
+    # ------------------------------------------------------------------
+
+    def _periodic_tick(self) -> None:
+        if self._stopped:
+            return
+        self.reconfigure()
+        self._timer = self.sim.schedule(
+            self.config.period_s, self._periodic_tick
+        )
+
+    def _rpc_get_metrics(self, executor) -> None:
+        agent = self._agents[(executor.op_name, executor.instance)]
+        stats = agent.on_get_metrics()  # step 2: SEND_METRICS
+        self.sim.schedule(self.config.rpc_latency_s, self._on_metrics, stats)
+
+    def _on_metrics(self, stats: Dict) -> None:
+        for edge_pair, estimates in stats.items():
+            self._stats.setdefault(edge_pair, []).extend(estimates)
+        self._collect_outstanding -= 1
+        if self._collect_outstanding == 0:
+            self._plan_and_send()
+
+    def _plan_and_send(self) -> None:
+        record = self.rounds[-1]
+        keygraph = KeyGraph.from_stats(self._stats)
+        record.collected_pairs = keygraph.num_edges
+        if keygraph.num_edges == 0:
+            # Nothing observed yet: skip this round.
+            record.skipped = True
+            record.completed_at = self.sim.now
+            self._round_active = False
+            if self._on_round_complete is not None:
+                self._on_round_complete(record)
+            return
+
+        num_servers = self._partition_size()
+        plan = plan_reconfiguration(
+            keygraph,
+            self._routed_streams,
+            num_servers,
+            self.current_tables,
+            imbalance=self.config.imbalance,
+            seed=self.config.seed + self._round_id,
+            max_edges=self.config.max_edges,
+        )
+        record.plan = plan
+
+        if self.config.estimator is not None:
+            estimate = self.config.estimator.evaluate(
+                keygraph, plan, self.current_tables, self._routed_streams
+            )
+            record.estimate = estimate
+            if not estimate.worthwhile_with_margin(
+                self.config.estimator.config.margin
+            ):
+                record.vetoed = True
+                record.completed_at = self.sim.now
+                self._round_active = False
+                if self._on_round_complete is not None:
+                    self._on_round_complete(record)
+                return
+
+        self.current_tables.update(plan.tables)
+        self._send_reconfigurations(plan)
+
+    def _partition_size(self) -> int:
+        servers = set()
+        for stream in self._routed_streams:
+            servers.update(stream.dst_placements)
+        expected = set(range(len(servers)))
+        if servers != expected:
+            raise ReconfigurationError(
+                f"routed destinations occupy servers {sorted(servers)}; "
+                f"expected contiguous 0..{len(servers) - 1}"
+            )
+        return len(servers)
+
+    def _send_reconfigurations(self, plan: ReconfigurationPlan) -> None:
+        record = self.rounds[-1]
+        record.tables_sent_at = self.sim.now
+        payloads = self._build_payloads(plan)
+        self._ack_outstanding = len(payloads)
+        self._complete_outstanding = len(payloads)
+        latency = self.config.rpc_latency_s
+        for (op, instance), payload in payloads.items():  # step 3
+            agent = self._agents[(op, instance)]
+            self.sim.schedule(latency, self._rpc_send_reconf, agent, payload)
+
+    def _rpc_send_reconf(self, agent, payload) -> None:
+        agent.on_reconf(payload)
+        self.sim.schedule(self.config.rpc_latency_s, self._on_ack)  # step 4
+
+    def _on_ack(self) -> None:
+        self._ack_outstanding -= 1
+        if self._ack_outstanding == 0:
+            self._start_propagation()
+
+    def _start_propagation(self) -> None:
+        """Step 5: PROPAGATE to the DAG roots (the spouts)."""
+        latency = self.config.rpc_latency_s
+        for executor in self.deployment.all_executors():
+            if isinstance(executor, SpoutExecutor):
+                message = ControlMessage(
+                    PROPAGATE, self._round_id, sender="manager"
+                )
+                self.sim.schedule(
+                    latency, executor.deliver_control, message
+                )
+
+    def _build_payloads(
+        self, plan: ReconfigurationPlan
+    ) -> Dict[Tuple[str, int], PoiReconfiguration]:
+        """One PoiReconfiguration per executor (every POI participates
+        in propagation, even with empty router/migration entries)."""
+        topology = self.deployment.topology
+        payloads: Dict[Tuple[str, int], PoiReconfiguration] = {}
+        for op in topology.operators.values():
+            for executor in self.deployment.instances(op.name):
+                payloads[(op.name, executor.instance)] = PoiReconfiguration(
+                    round_id=self._round_id
+                )
+
+        # Routing table updates go to the *source* executors of each
+        # routed stream.
+        for stream_name, table in plan.tables.items():
+            src, _, dst = stream_name.partition("->")
+            for executor in self.deployment.instances(src):
+                payloads[(src, executor.instance)].router_updates[
+                    stream_name
+                ] = table
+
+        # Migration lists go to the stateful destination executors.
+        for op_name, per_pair in plan.migrations.items():
+            for (old_instance, new_instance), keys in per_pair.items():
+                sender = payloads[(op_name, old_instance)]
+                sender.send.setdefault(new_instance, []).extend(keys)
+                receiver = payloads[(op_name, new_instance)]
+                receiver.receive_keys.extend(keys)
+                receiver.expected_migrations += 1
+        return payloads
+
+    # ------------------------------------------------------------------
+    # Agent notifications
+    # ------------------------------------------------------------------
+
+    def notify_propagated(self, agent, round_id: int) -> None:
+        """A POI swapped tables and forwarded PROPAGATE (telemetry)."""
+
+    def notify_complete(self, agent, round_id: int) -> None:
+        """A POI finished the round (propagated + all state received)."""
+        if round_id != self._round_id:
+            raise ReconfigurationError(
+                f"completion for round {round_id}, current {self._round_id}"
+            )
+        self._complete_outstanding -= 1
+        if self._complete_outstanding == 0:
+            record = self.rounds[-1]
+            record.completed_at = self.sim.now
+            self._round_active = False
+            if self._on_round_complete is not None:
+                callback, self._on_round_complete = (
+                    self._on_round_complete,
+                    None,
+                )
+                callback(record)

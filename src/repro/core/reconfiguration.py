@@ -1,0 +1,238 @@
+"""The online reconfiguration protocol (Section 3.4, Algorithm 1).
+
+Message flow, as in Figure 6 of the paper:
+
+1. ``GET_METRICS``  — manager asks instrumented POIs for statistics;
+2. ``SEND_METRICS`` — POIs reply with their SpaceSaving contents;
+3. ``SEND_RECONF``  — manager ships each POI its new routing tables and
+   its state send/receive lists; the POI starts *buffering* tuples for
+   keys whose state it is about to receive;
+4. ``ACK_RECONF``   — POIs acknowledge;
+5. ``PROPAGATE``    — cascades through the DAG in topological order.
+   A POI acts once it holds a PROPAGATE from *every* predecessor
+   instance: it swaps its routing tables, migrates state, and forwards
+   PROPAGATE downstream;
+6. ``MIGRATE``      — peers exchange the state of reassigned keys;
+   buffered tuples replay on arrival.
+
+Because PROPAGATE and MIGRATE travel through the same FIFO channels as
+data, a PROPAGATE acts as a barrier: every tuple routed with the old
+table is delivered before it. Hence, by the time a POI extracts state,
+it has processed all old-routed traffic — no tuple is lost and no
+count is misplaced (validated by integration tests).
+
+Steps 1–4 are manager↔POI RPCs and travel out-of-band (they do not
+alter routing); steps 5–6 are in-band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.routing_table import RoutingTable
+from repro.engine.executor import BaseExecutor, ControlMessage, SpoutExecutor
+from repro.errors import ReconfigurationError
+
+GET_METRICS = "GET_METRICS"
+SEND_METRICS = "SEND_METRICS"
+SEND_RECONF = "SEND_RECONF"
+ACK_RECONF = "ACK_RECONF"
+PROPAGATE = "PROPAGATE"
+MIGRATE = "MIGRATE"
+
+
+@dataclass
+class PoiReconfiguration:
+    """The reconfiguration message payload for one POI (the structure
+    listed in Section 3.4: router, send, receive)."""
+
+    round_id: int
+    #: out-stream name → new routing table for this POI's routers
+    router_updates: Dict[str, RoutingTable] = field(default_factory=dict)
+    #: peer instance → keys of local state to ship there
+    send: Dict[int, List[Hashable]] = field(default_factory=dict)
+    #: keys whose state will arrive from peers (buffer their tuples)
+    receive_keys: List[Hashable] = field(default_factory=list)
+    #: how many MIGRATE messages to expect
+    expected_migrations: int = 0
+
+
+@dataclass
+class MigratePayload:
+    round_id: int
+    keys: List[Hashable]
+    entries: Dict[Hashable, object]
+
+
+class ReconfigurationAgent:
+    """Per-POI protocol engine; installed as the executor's control
+    handler."""
+
+    def __init__(
+        self,
+        executor: BaseExecutor,
+        manager,
+        predecessors_needed: int,
+        peers: List[BaseExecutor],
+        successors: List[BaseExecutor],
+    ) -> None:
+        self.executor = executor
+        self.manager = manager
+        #: PROPAGATEs required before acting (1 for spouts: the manager)
+        self.predecessors_needed = max(1, predecessors_needed)
+        self.peers = peers
+        self.successors = successors
+        self._pending: PoiReconfiguration = None
+        self._propagates = 0
+        self._migrations = 0
+        self._applied_round = -1
+        executor.control_handler = self.handle
+
+    # ------------------------------------------------------------------
+    # Out-of-band entry points (called by the manager with RPC latency)
+    # ------------------------------------------------------------------
+
+    def on_get_metrics(self) -> Dict:
+        """Steps 1-2: return and reset the collected statistics."""
+        tracker = self.executor.instrumentation
+        if tracker is None:
+            return {}
+        return tracker.collect_and_clear()
+
+    def on_reconf(self, payload: PoiReconfiguration) -> None:
+        """Step 3: store the pending reconfiguration and start
+        buffering tuples for keys whose state has not arrived yet."""
+        if self._pending is not None:
+            raise ReconfigurationError(
+                f"{self.executor.name}: reconfiguration round "
+                f"{self._pending.round_id} still pending"
+            )
+        self._pending = payload
+        self._propagates = 0
+        self._migrations = 0
+        if payload.receive_keys:
+            self.executor.hold_keys(payload.receive_keys)
+
+    # ------------------------------------------------------------------
+    # In-band control messages (PROPAGATE / MIGRATE)
+    # ------------------------------------------------------------------
+
+    def handle(self, msg: ControlMessage, executor: BaseExecutor) -> None:
+        if msg.kind == PROPAGATE:
+            self._on_propagate(msg.payload)
+        elif msg.kind == MIGRATE:
+            self._on_migrate(msg.payload)
+        else:
+            raise ReconfigurationError(
+                f"{executor.name}: unexpected control message {msg.kind!r}"
+            )
+
+    def _on_propagate(self, round_id: int) -> None:
+        if self._pending is None or round_id != self._pending.round_id:
+            raise ReconfigurationError(
+                f"{self.executor.name}: PROPAGATE for round {round_id} "
+                f"without matching reconfiguration"
+            )
+        self._propagates += 1
+        if self._propagates > self.predecessors_needed:
+            raise ReconfigurationError(
+                f"{self.executor.name}: more PROPAGATEs than predecessors"
+            )
+        if self._propagates == self.predecessors_needed:
+            self._apply()
+
+    def _apply(self) -> None:
+        """All predecessors reconfigured: swap tables, migrate state,
+        propagate downstream (Algorithm 1's poi_migration tail)."""
+        payload = self._pending
+        executor = self.executor
+
+        for stream_name, table in payload.router_updates.items():
+            executor.table_router(stream_name).update_table(table)
+
+        for peer_instance, keys in payload.send.items():
+            entries = executor.extract_state(keys)
+            migrate = ControlMessage(
+                MIGRATE,
+                MigratePayload(payload.round_id, list(keys), entries),
+                sender=executor.name,
+            )
+            size = (
+                executor.costs.control_message_bytes
+                + executor.costs.state_bytes_per_key * len(keys)
+            )
+            executor.send_control(self.peers[peer_instance], migrate, size)
+
+        forward = lambda dst: executor.send_control(  # noqa: E731
+            dst,
+            ControlMessage(
+                PROPAGATE, payload.round_id, sender=executor.name
+            ),
+        )
+        for successor in self.successors:
+            forward(successor)
+
+        self._applied_round = payload.round_id
+        if payload.expected_migrations == self._migrations:
+            self._finish_round()
+        self.manager.notify_propagated(self, payload.round_id)
+
+    def _on_migrate(self, payload: MigratePayload) -> None:
+        if self._pending is None or payload.round_id != self._pending.round_id:
+            raise ReconfigurationError(
+                f"{self.executor.name}: MIGRATE for round "
+                f"{payload.round_id} without matching reconfiguration"
+            )
+        executor = self.executor
+        executor.install_state(payload.entries)
+        for key in payload.keys:
+            executor.release_key(key)
+        self._migrations += 1
+        if (
+            self._applied_round == payload.round_id
+            and self._migrations == self._pending.expected_migrations
+        ):
+            self._finish_round()
+
+    def _finish_round(self) -> None:
+        payload = self._pending
+        self._pending = None
+        self._propagates = 0
+        self._migrations = 0
+        self.manager.notify_complete(self, payload.round_id)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, experiments)
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._pending is not None
+
+
+def install_agents(deployment, manager) -> Dict[Tuple[str, int], "ReconfigurationAgent"]:
+    """Create one agent per executor, wired with its predecessor counts,
+    peers, and successor instances."""
+    topology = deployment.topology
+    agents: Dict[Tuple[str, int], ReconfigurationAgent] = {}
+    for op in topology.operators.values():
+        predecessors_needed = sum(
+            topology.operator(stream.src).parallelism
+            for stream in topology.inputs_of(op.name)
+        )
+        peers = deployment.instances(op.name)
+        successors: List[BaseExecutor] = []
+        for stream in topology.outputs_of(op.name):
+            successors.extend(deployment.instances(stream.dst))
+        for executor in peers:
+            agents[(op.name, executor.instance)] = ReconfigurationAgent(
+                executor,
+                manager,
+                predecessors_needed
+                if not isinstance(executor, SpoutExecutor)
+                else 1,
+                peers,
+                successors,
+            )
+    return agents

@@ -1,0 +1,81 @@
+"""Explicit routing tables: key → destination instance.
+
+A routing table overrides hash-based fields grouping for the keys it
+contains; unknown keys fall back to the hash policy (Section 3.3:
+"When a key is not present in the routing table, it falls back to the
+standard hash-based routing policy").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, Set, Tuple
+
+
+class RoutingTable:
+    """Immutable-by-convention mapping from key to instance index."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Dict[Hashable, int]] = None) -> None:
+        self._mapping: Dict[Hashable, int] = dict(mapping or {})
+
+    @classmethod
+    def empty(cls) -> "RoutingTable":
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Lookup API (consumed by the engine's TableRouter)
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> Optional[int]:
+        """Destination instance for ``key``, or None (hash fallback)."""
+        return self._mapping.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._mapping)
+
+    def items(self) -> Iterator[Tuple[Hashable, int]]:
+        return iter(self._mapping.items())
+
+    def as_dict(self) -> Dict[Hashable, int]:
+        return dict(self._mapping)
+
+    # ------------------------------------------------------------------
+    # Diffing (used to build migration lists)
+    # ------------------------------------------------------------------
+
+    def moved_keys(
+        self, new: "RoutingTable", fallback
+    ) -> Dict[Hashable, Tuple[int, int]]:
+        """Keys whose owner changes between ``self`` and ``new``.
+
+        ``fallback(key) -> int`` resolves the owner of keys absent from
+        a table (the hash policy). Returns ``{key: (old, new)}`` over
+        the union of both tables' keys.
+        """
+        union: Set[Hashable] = set(self._mapping) | set(new._mapping)
+        moved: Dict[Hashable, Tuple[int, int]] = {}
+        for key in union:
+            old_owner = self._mapping.get(key)
+            if old_owner is None:
+                old_owner = fallback(key)
+            new_owner = new._mapping.get(key)
+            if new_owner is None:
+                new_owner = fallback(key)
+            if old_owner != new_owner:
+                moved[key] = (old_owner, new_owner)
+        return moved
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RoutingTable) and other._mapping == self._mapping
+        )
+
+    def __repr__(self) -> str:
+        return f"RoutingTable({len(self._mapping)} keys)"

@@ -1,0 +1,97 @@
+"""Deployment consistency checking.
+
+Invariants that must hold whenever the system is quiescent (no tuples
+in flight, no reconfiguration round active). Integration tests call
+:func:`check_deployment` after draining a run; operators of a real
+deployment could run it as a health check.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.executor import BoltExecutor
+from repro.engine.grouping import TableRouter
+from repro.engine.operators import StatefulBolt
+
+
+class ValidationReport:
+    """Collected invariant violations (empty == healthy)."""
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+
+    def fail(self, message: str) -> None:
+        self.violations.append(message)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise AssertionError(
+                "deployment invariants violated:\n  "
+                + "\n  ".join(self.violations)
+            )
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"ValidationReport({state})"
+
+
+def check_deployment(deployment) -> ValidationReport:
+    """Verify the quiescent-state invariants of a deployment.
+
+    - every key's state lives on exactly one instance of its operator;
+    - no executor is still holding (buffering) keys;
+    - no tuple trees remain unacked;
+    - routing tables map keys to existing destination instances.
+    """
+    report = ValidationReport()
+
+    if deployment.acker.in_flight != 0:
+        report.fail(
+            f"{deployment.acker.in_flight} tuple trees still in flight"
+        )
+
+    topology = deployment.topology
+    for op in topology.operators.values():
+        instances = deployment.instances(op.name)
+
+        # Unique key ownership only holds for *keyed* (fields-grouped)
+        # inputs; a shuffle-fed stateful bolt legitimately counts the
+        # same key on several instances.
+        keyed_input = any(
+            getattr(stream.grouping, "key_fn", None) is not None
+            for stream in topology.inputs_of(op.name)
+        )
+        owners = {}
+        for executor in instances:
+            if keyed_input and isinstance(executor.operator, StatefulBolt):
+                for key in executor.operator.state:
+                    if key in owners:
+                        report.fail(
+                            f"{op.name}: key {key!r} on instances "
+                            f"{owners[key]} and {executor.instance}"
+                        )
+                    owners[key] = executor.instance
+            if isinstance(executor, BoltExecutor) and executor.held_keys:
+                report.fail(
+                    f"{executor.name}: still holding keys "
+                    f"{sorted(map(repr, executor.held_keys))[:5]}"
+                )
+
+        for executor in instances:
+            for edge in executor.out_edges:
+                router = edge.router
+                if isinstance(router, TableRouter) and router.table:
+                    num_destinations = len(edge.destinations)
+                    for key, instance in router.table.items():
+                        if not 0 <= instance < num_destinations:
+                            report.fail(
+                                f"{executor.name} stream "
+                                f"{edge.stream_name}: key {key!r} -> "
+                                f"instance {instance} out of range"
+                            )
+    return report

@@ -1,0 +1,99 @@
+"""Servers and the cluster they form.
+
+Mirrors the paper's testbed: ``n`` identical workers on a switched
+network (10 Gb/s by default, optionally throttled to 1 Gb/s as in
+Section 4.4), optionally spread over racks for the hierarchical
+extension.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.engine.network import Network, Nic
+from repro.engine.simulator import Simulator
+
+GIGABIT = 1e9 / 8.0  # bytes per second in 1 Gb/s
+
+
+class Server:
+    """One physical worker machine."""
+
+    __slots__ = ("index", "name", "rack", "nic")
+
+    def __init__(self, index: int, rack: int, nic: Nic) -> None:
+        self.index = index
+        self.name = f"server{index}"
+        self.rack = rack
+        self.nic = nic
+
+    def __repr__(self) -> str:
+        return f"Server({self.index}, rack={self.rack})"
+
+
+class Cluster:
+    """A set of servers joined by a :class:`Network`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that owns all cluster events.
+    num_servers:
+        Number of worker servers (the paper uses 1–6 of its 8).
+    bandwidth_gbps:
+        Per-NIC bandwidth in gigabits/s; ``None`` for infinite.
+    latency_s:
+        One-way propagation latency between servers.
+    num_racks:
+        Servers are assigned to racks round-robin; racks only matter
+        when ``inter_rack_latency_s`` differs from ``latency_s``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_servers: int,
+        bandwidth_gbps: Optional[float] = 10.0,
+        latency_s: float = 50.0e-6,
+        num_racks: int = 1,
+        inter_rack_latency_s: Optional[float] = None,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        if num_racks < 1:
+            raise ValueError(f"num_racks must be >= 1, got {num_racks}")
+        self.sim = sim
+        bandwidth = None if bandwidth_gbps is None else bandwidth_gbps * GIGABIT
+        self.network = Network(
+            sim,
+            bandwidth,
+            latency_s=latency_s,
+            inter_rack_latency_s=inter_rack_latency_s,
+        )
+        self.servers: List[Server] = []
+        for index in range(num_servers):
+            rack = index % num_racks
+            server = Server(index, rack, nic=None)  # type: ignore[arg-type]
+            server.nic = self.network.attach(server)
+            self.servers.append(server)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def server(self, index: int) -> Server:
+        return self.servers[index]
+
+    def transfer(
+        self,
+        src: Server,
+        dst: Server,
+        nbytes: int,
+        fn: Callable,
+        *args: Any,
+    ) -> None:
+        """Send ``nbytes`` between two servers; ``fn(*args)`` on arrival."""
+        self.network.transfer(src, dst, nbytes, fn, *args)
+
+    def __repr__(self) -> str:
+        return f"Cluster(num_servers={self.num_servers})"

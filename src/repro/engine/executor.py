@@ -1,0 +1,519 @@
+"""Executors: the running instances (POIs) of operators.
+
+An executor owns one operator object, an input queue, and one router
+per output stream. The service model (DESIGN.md Section 5):
+
+- processing a tuple costs ``bolt_service_s`` CPU, plus
+  ``deser_cost(size)`` when it arrived over the network;
+- each emission bound for a remote server adds ``ser_cost(size)`` to
+  the *sender's* service time;
+- emissions are dispatched when the service time elapses, so the
+  executor is a single-threaded pipeline stage, like a Storm executor
+  thread.
+
+Control messages (reconfiguration protocol) travel through the same
+FIFO channels and the same input queue as data. This gives PROPAGATE
+messages barrier semantics: every tuple routed with the old table is
+delivered before the PROPAGATE that retires that table (see
+core.reconfiguration).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine.acker import Acker
+from repro.engine.costs import CostModel
+from repro.engine.grouping import Router, TableRouter
+from repro.engine.metrics import MetricsHub
+from repro.engine.operators import (
+    Bolt,
+    OperatorContext,
+    Spout,
+    StatefulBolt,
+)
+from repro.engine.tuples import Tuple, make_tuple
+from repro.errors import SimulationError
+
+
+class ControlMessage:
+    """A control-plane message (reconfiguration protocol, migration)."""
+
+    __slots__ = ("kind", "payload", "sender", "size")
+
+    def __init__(
+        self, kind: str, payload: Any = None, sender: str = "", size: int = 0
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.sender = sender
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"ControlMessage({self.kind!r}, from={self.sender!r})"
+
+
+class OutEdge:
+    """Runtime view of one output stream from one executor."""
+
+    __slots__ = ("stream_name", "router", "destinations", "key_fn")
+
+    def __init__(
+        self,
+        stream_name: str,
+        router: Router,
+        destinations: List["BaseExecutor"],
+        key_fn: Optional[Callable[[tuple], Any]],
+    ) -> None:
+        self.stream_name = stream_name
+        self.router = router
+        self.destinations = destinations
+        self.key_fn = key_fn
+
+
+class BaseExecutor:
+    """Shared identity, emission and control plumbing."""
+
+    def __init__(
+        self,
+        sim,
+        cluster,
+        op_name: str,
+        instance: int,
+        parallelism: int,
+        server,
+        operator,
+        costs: CostModel,
+        metrics: MetricsHub,
+        acker: Acker,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.op_name = op_name
+        self.instance = instance
+        self.parallelism = parallelism
+        self.server = server
+        self.operator = operator
+        self.costs = costs
+        self.metrics = metrics
+        self.acker = acker
+        self.out_edges: List[OutEdge] = []
+        #: key extraction per input operator name (fields-grouped inputs)
+        self.in_key_fns: Dict[str, Callable[[tuple], Any]] = {}
+        #: optional hook with ``observe(in_stream, in_key, out_stream,
+        #: out_key)`` — set by core.instrumentation
+        self.instrumentation = None
+        #: optional handler ``fn(msg, executor)`` for control messages —
+        #: set by core.reconfiguration
+        self.control_handler: Optional[Callable] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.op_name}[{self.instance}]"
+
+    def make_context(self) -> OperatorContext:
+        return OperatorContext(
+            self.op_name,
+            self.instance,
+            self.parallelism,
+            self.server.index,
+            lambda: self.sim.now,
+        )
+
+    def out_edge(self, stream_name: str) -> OutEdge:
+        for edge in self.out_edges:
+            if edge.stream_name == stream_name:
+                return edge
+        raise SimulationError(
+            f"{self.name} has no output stream {stream_name!r}"
+        )
+
+    def table_router(self, stream_name: str) -> TableRouter:
+        router = self.out_edge(stream_name).router
+        if not isinstance(router, TableRouter):
+            raise SimulationError(
+                f"stream {stream_name!r} is not table-routed at {self.name}"
+            )
+        return router
+
+    # ------------------------------------------------------------------
+    # Emission planning and dispatch
+    # ------------------------------------------------------------------
+
+    def _plan_emissions(
+        self, emissions: List[tuple], root_id: Optional[int]
+    ) -> "EmissionPlan":
+        """Route emissions now; return the plan plus its ser CPU cost."""
+        plan: List[tuple] = []
+        ser_cost = 0.0
+        for values in emissions:
+            emission_root = root_id
+            for edge in self.out_edges:
+                for dst_index in edge.router.select(values):
+                    dst = edge.destinations[dst_index]
+                    tup = make_tuple(
+                        values, self.costs.tuple_header_bytes, emission_root
+                    )
+                    if emission_root is None:
+                        # First copy of a spout emission anchors the tree.
+                        emission_root = tup.root_id
+                    remote = dst.server.index != self.server.index
+                    if remote:
+                        ser_cost += self.costs.ser_cost(tup.size)
+                    plan.append((edge, dst, tup, remote))
+            self.metrics.on_emit(self.op_name, self.instance)
+        return EmissionPlan(plan, ser_cost)
+
+    def _dispatch(self, plan: "EmissionPlan") -> None:
+        for edge, dst, tup, remote in plan.entries:
+            self.metrics.on_route(edge.stream_name, remote, tup.size)
+            if remote:
+                self.cluster.transfer(
+                    self.server,
+                    dst.server,
+                    tup.size,
+                    dst.deliver,
+                    tup,
+                    True,
+                    self.op_name,
+                )
+            else:
+                dst.deliver(tup, False, self.op_name)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def send_control(
+        self, dst: "BaseExecutor", msg: ControlMessage, size: Optional[int] = None
+    ) -> None:
+        """Send a control message through the data channels (FIFO with
+        data), so it acts as a barrier."""
+        nbytes = self.costs.control_message_bytes if size is None else size
+        msg.size = nbytes
+        if dst.server.index != self.server.index:
+            self.cluster.transfer(
+                self.server, dst.server, nbytes, dst.deliver_control, msg
+            )
+        else:
+            dst.deliver_control(msg)
+
+    def deliver_control(self, msg: ControlMessage) -> None:
+        raise NotImplementedError
+
+    def handle_control(self, msg: ControlMessage) -> None:
+        if self.control_handler is None:
+            raise SimulationError(
+                f"{self.name} received {msg!r} but has no control handler"
+            )
+        self.control_handler(msg, self)
+
+    # ------------------------------------------------------------------
+    # State access (migration support)
+    # ------------------------------------------------------------------
+
+    def extract_state(self, keys) -> Dict:
+        if isinstance(self.operator, StatefulBolt):
+            return self.operator.extract_state(keys)
+        return {}
+
+    def install_state(self, entries: Dict) -> None:
+        if entries and not isinstance(self.operator, StatefulBolt):
+            raise SimulationError(
+                f"cannot install state into stateless {self.name}"
+            )
+        if entries:
+            self.operator.install_state(entries)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.operator.close()
+
+
+class EmissionPlan:
+    __slots__ = ("entries", "ser_cost")
+
+    def __init__(self, entries: List[tuple], ser_cost: float) -> None:
+        self.entries = entries
+        self.ser_cost = ser_cost
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class BoltExecutor(BaseExecutor):
+    """Executor for bolts: input queue + service-time processing."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._queue: deque = deque()
+        self._busy = False
+        #: keys whose state is expected from a peer; tuples buffered
+        self._held_keys: set = set()
+        self._held_tuples: Dict[Any, List[tuple]] = {}
+        self.buffered_count = 0
+        self._crashed = False
+        self.crash_count = 0
+
+    # -- fault injection --------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self, down_s: float = 0.0) -> None:
+        """Kill this instance: its queue, buffers and state are lost
+        (the engine-level failure Section 3.4 defers to). Deliveries
+        while down are dropped; unacked trees time out and replay at
+        their spout. The supervisor restarts the instance (with empty
+        state) after ``down_s`` seconds."""
+        self._crashed = True
+        self.crash_count += 1
+        self._queue.clear()
+        self._held_keys.clear()
+        self._held_tuples.clear()
+        self._busy = False
+        if isinstance(self.operator, StatefulBolt):
+            self.operator.state.clear()
+        self.sim.schedule(down_s, self._restart)
+
+    def _restart(self) -> None:
+        self._crashed = False
+        self._maybe_start()
+
+    # -- delivery --------------------------------------------------------
+
+    def deliver(self, tup: Tuple, remote: bool, src_op: str) -> None:
+        if self._crashed:
+            self.metrics.dropped[self.op_name] += 1
+            return
+        self.metrics.on_delivered(self.op_name, self.instance)
+        self._queue.append(("data", tup, remote, src_op))
+        self._maybe_start()
+
+    def deliver_control(self, msg: ControlMessage) -> None:
+        if self._crashed:
+            self.metrics.dropped[self.op_name] += 1
+            return
+        self._queue.append(("ctrl", msg, False, msg.sender))
+        self._maybe_start()
+
+    # -- key holding (state migration buffering) -------------------------
+
+    def hold_keys(self, keys) -> None:
+        """Buffer incoming tuples for ``keys`` until their state arrives
+        (Section 3.4: the stream is not suspended during migration)."""
+        self._held_keys.update(keys)
+
+    def release_key(self, key) -> None:
+        """State for ``key`` arrived: replay its buffered tuples, in
+        order, ahead of anything else in the queue."""
+        self._held_keys.discard(key)
+        buffered = self._held_tuples.pop(key, [])
+        for item in reversed(buffered):
+            self._queue.appendleft(item)
+        if buffered:
+            self._maybe_start()
+
+    @property
+    def held_keys(self) -> set:
+        return set(self._held_keys)
+
+    # -- processing loop --------------------------------------------------
+
+    def _maybe_start(self) -> None:
+        if not self._busy and self._queue and not self._crashed:
+            self._busy = True
+            self._process_next()
+
+    def _process_next(self) -> None:
+        while self._queue:
+            item = self._queue.popleft()
+            kind = item[0]
+            if kind == "ctrl":
+                msg = item[1]
+                self.sim.schedule(
+                    self.costs.control_service_s, self._finish_control, msg
+                )
+                return
+
+            _, tup, remote, src_op = item
+            in_key_fn = self.in_key_fns.get(src_op)
+            in_key = in_key_fn(tup.values) if in_key_fn is not None else None
+
+            if in_key is not None and in_key in self._held_keys:
+                # State not here yet: buffer without processing.
+                self._held_tuples.setdefault(in_key, []).append(item)
+                self.buffered_count += 1
+                continue
+
+            service = self.costs.bolt_service_s
+            if remote:
+                service += self.costs.deser_cost(tup.size)
+
+            context = self.make_context()
+            self.operator.process(tup, context)
+            emissions = context._drain()
+            plan = self._plan_emissions(emissions, tup.root_id)
+            service += plan.ser_cost
+
+            if self.instrumentation is not None and in_key is not None:
+                for values in emissions:
+                    for edge in self.out_edges:
+                        if edge.key_fn is not None:
+                            self.instrumentation.observe(
+                                src_op,
+                                in_key,
+                                edge.stream_name,
+                                edge.key_fn(values),
+                            )
+
+            self.sim.schedule(service, self._finish_data, tup, plan)
+            return
+        self._busy = False
+
+    def _finish_data(self, tup: Tuple, plan: EmissionPlan) -> None:
+        if self._crashed:
+            # Crashed mid-service: the tuple and its emissions are lost
+            # (never acked, so its tree will time out and replay).
+            return
+        self._dispatch(plan)
+        self.metrics.on_processed(self.op_name, self.instance)
+        self.acker.on_processed(tup.root_id, len(plan))
+        self._process_next()
+
+    def _finish_control(self, msg: ControlMessage) -> None:
+        if self._crashed:
+            return
+        self.handle_control(msg)
+        self._process_next()
+
+
+class SpoutExecutor(BaseExecutor):
+    """Executor for spouts: credit-driven polling loop.
+
+    Control messages are serialized with the polling loop: if a poll is
+    in flight, the control message is handled right after that poll's
+    emissions are dispatched, preserving channel ordering with respect
+    to data.
+    """
+
+    def __init__(self, *args, max_pending: int = 256, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if max_pending < 1:
+            raise SimulationError(f"max_pending must be >= 1: {max_pending}")
+        self.max_pending = max_pending
+        self.pending = 0
+        self._in_flight = False
+        self._waiting_for_ack = False
+        self._stopped = False
+        self._control_queue: deque = deque()
+        #: failed (timed-out) emissions waiting to be replayed
+        self._replay: deque = deque()
+        self.replayed = 0
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self._poll)
+
+    def deliver(self, tup: Tuple, remote: bool, src_op: str) -> None:
+        raise SimulationError(f"spout {self.name} cannot receive data tuples")
+
+    def deliver_control(self, msg: ControlMessage) -> None:
+        self._control_queue.append(msg)
+        if not self._in_flight:
+            self._drain_control()
+
+    def _drain_control(self) -> None:
+        while self._control_queue:
+            self.handle_control(self._control_queue.popleft())
+
+    # -- polling loop ------------------------------------------------------
+
+    def _poll(self) -> None:
+        if self._stopped or self._in_flight:
+            return
+        if self.pending >= self.max_pending:
+            self._waiting_for_ack = True
+            return
+        if self._replay:
+            emissions = [self._replay.popleft()]
+            self.replayed += 1
+        else:
+            context = self.make_context()
+            produced = self.operator.next_tuple(context)
+            emissions = context._drain()
+        if not emissions:
+            if self.operator.finished:
+                if self.pending > 0:
+                    # Failed tuples may still come back for replay.
+                    self._waiting_for_ack = True
+                else:
+                    self._stopped = True
+                return
+            if produced:
+                # Did work but emitted nothing: poll again immediately.
+                self.sim.schedule(self.costs.spout_service_s, self._poll)
+            else:
+                self.sim.schedule(self.costs.spout_idle_retry_s, self._poll)
+            return
+
+        service = self.costs.spout_service_s * len(emissions)
+        plans: List[EmissionPlan] = []
+        for values in emissions:
+            plan = self._plan_emissions([values], root_id=None)
+            if len(plan) == 0:
+                continue
+            root_id = plan.entries[0][2].root_id
+            self.acker.register(
+                root_id,
+                self._on_ack,
+                on_fail=lambda v=values: self._on_fail(v),
+            )
+            self.pending += 1
+            service += plan.ser_cost
+            plans.append(plan)
+        self._in_flight = True
+        self.sim.schedule(service, self._finish_poll, plans)
+
+    def _finish_poll(self, plans: List[EmissionPlan]) -> None:
+        for plan in plans:
+            self._dispatch(plan)
+            # The spout's virtual root tuple is now "processed", having
+            # spawned len(plan) children (1 unless broadcasting).
+            self.acker.on_processed(plan.entries[0][2].root_id, len(plan))
+        self._in_flight = False
+        self._drain_control()
+        if not self._stopped:
+            if self.pending >= self.max_pending:
+                self._waiting_for_ack = True
+            else:
+                self._poll()
+
+    def _on_ack(self) -> None:
+        self.pending -= 1
+        if self.pending < 0:
+            raise SimulationError(f"{self.name} pending went negative")
+        if self._waiting_for_ack and not self._stopped:
+            self._waiting_for_ack = False
+            self._poll()
+
+    def _on_fail(self, values: tuple) -> None:
+        """The tuple tree timed out: replay it (at-least-once)."""
+        self.pending -= 1
+        if self.pending < 0:
+            raise SimulationError(f"{self.name} pending went negative")
+        self._replay.append(values)
+        if not self._in_flight and not self._stopped:
+            self._waiting_for_ack = False
+            self._poll()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

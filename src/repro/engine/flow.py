@@ -1,0 +1,158 @@
+"""Analytical flow-level throughput model.
+
+The discrete-event simulation plays every tuple; this module predicts
+the same steady-state throughput in closed form, from per-stage remote
+fractions. It serves two purposes:
+
+- a fast estimator for parameter sweeps (no simulation);
+- a cross-check that the DES behaves like its own math — the test
+  suite asserts both agree within a few percent in every regime
+  (CPU-bound, serialization-bound, NIC-bound).
+
+Model: each server hosts one executor of every stage of the chain.
+A stage's per-tuple CPU time is its service time plus
+(de)serialization for the remote fraction of its input/output. The
+server's NIC serializes all remote bytes in each direction at the link
+rate. Steady-state per-server throughput is set by the tightest of
+these resources, and total throughput is ``num_servers`` times that
+(symmetric load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.costs import CostModel, DEFAULT_COSTS
+from repro.engine.cluster import GIGABIT
+
+SPOUT = "spout"
+BOLT = "bolt"
+
+
+@dataclass(frozen=True)
+class FlowStage:
+    """One pipeline stage as the flow model sees it.
+
+    Attributes
+    ----------
+    kind:
+        ``"spout"`` or ``"bolt"``.
+    out_bytes:
+        Wire size of tuples this stage emits (header included);
+        0 for sinks.
+    remote_in:
+        Fraction of this stage's input arriving over the network.
+    remote_out:
+        Fraction of this stage's output leaving over the network.
+    fan_out:
+        Tuples emitted per tuple processed (1 for pass-through).
+    """
+
+    name: str
+    kind: str
+    out_bytes: int = 0
+    remote_in: float = 0.0
+    remote_out: float = 0.0
+    fan_out: float = 1.0
+
+
+@dataclass(frozen=True)
+class FlowPrediction:
+    """Predicted steady-state rates."""
+
+    #: tuples/s arriving at the sink, cluster-wide
+    throughput: float
+    #: the binding resource, e.g. "cpu:A" or "nic-egress"
+    bottleneck: str
+    #: per-resource capacity (tuples/s, cluster-wide) for inspection
+    capacities: Tuple[Tuple[str, float], ...]
+
+
+def predict_throughput(
+    stages: Sequence[FlowStage],
+    num_servers: int,
+    costs: CostModel = DEFAULT_COSTS,
+    bandwidth_gbps: Optional[float] = 10.0,
+) -> FlowPrediction:
+    """Steady-state sink throughput of a symmetric chain."""
+    if not stages:
+        raise ValueError("stages must be non-empty")
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+
+    capacities: List[Tuple[str, float]] = []
+    in_bytes = 0
+    for stage in stages:
+        if stage.kind == SPOUT:
+            service = costs.spout_service_s
+        else:
+            service = costs.bolt_service_s
+            service += stage.remote_in * costs.deser_cost(in_bytes)
+        service += (
+            stage.fan_out
+            * stage.remote_out
+            * costs.ser_cost(stage.out_bytes)
+        )
+        capacities.append((f"cpu:{stage.name}", num_servers / service))
+        in_bytes = stage.out_bytes
+
+    if bandwidth_gbps is not None:
+        rate = bandwidth_gbps * GIGABIT
+        remote_bytes_per_tuple = sum(
+            stage.fan_out * stage.remote_out * stage.out_bytes
+            for stage in stages
+        )
+        if remote_bytes_per_tuple > 0:
+            # Per-direction NIC capacity; symmetric load means egress
+            # and ingress see the same byte rate per server.
+            nic = num_servers * rate / remote_bytes_per_tuple
+            capacities.append(("nic", nic))
+
+    bottleneck, throughput = min(capacities, key=lambda kv: kv[1])
+    return FlowPrediction(
+        throughput=throughput,
+        bottleneck=bottleneck,
+        capacities=tuple(capacities),
+    )
+
+
+def synthetic_stages(
+    parallelism: int,
+    locality: float,
+    padding: int,
+    policy: str,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[FlowStage]:
+    """Flow stages for the Section 4.2 application under one of the
+    three routing policies (mirrors workloads.synthetic)."""
+    n = parallelism
+    tuple_bytes = costs.tuple_header_bytes + 8 + 8 + padding
+    if policy == "locality-aware":
+        sa_remote = 0.0
+        ab_remote = 1.0 - locality if n > 1 else 0.0
+    elif policy == "hash-based":
+        sa_remote = 1.0 - 1.0 / n
+        ab_remote = 1.0 - 1.0 / n
+    elif policy == "worst-case":
+        sa_remote = 1.0 - 1.0 / n
+        if n == 1:
+            ab_remote = 0.0
+        else:
+            ab_remote = locality + (1.0 - locality) * (1.0 - 1.0 / n)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    if n == 1:
+        sa_remote = 0.0
+        ab_remote = 0.0
+    return [
+        FlowStage("S", SPOUT, out_bytes=tuple_bytes, remote_out=sa_remote),
+        FlowStage(
+            "A",
+            BOLT,
+            out_bytes=tuple_bytes,
+            remote_in=sa_remote,
+            remote_out=ab_remote,
+        ),
+        FlowStage("B", BOLT, out_bytes=0, remote_in=ab_remote),
+    ]

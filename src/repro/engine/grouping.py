@@ -1,0 +1,350 @@
+"""Stream routing policies (Section 2.2 of the paper).
+
+A *grouping* is the declarative policy attached to a stream in the
+topology; at deployment it is instantiated into one *router* per source
+instance. Routers map an emitted tuple's values to destination instance
+indices.
+
+Implemented groupings:
+
+- **shuffle** — round-robin over all destination instances;
+- **local-or-shuffle** — round-robin over same-server instances when
+  any exist, else shuffle;
+- **fields** — hash of a key extracted from the tuple (the Storm
+  default for stateful bolts);
+- **table fields** — fields grouping driven by an explicit routing
+  table with hash fallback: the mechanism the paper's manager updates
+  online;
+- **global**, **broadcast** — classic utilities;
+- **partial key** — the "power of both choices" baseline (Nasir et
+  al., ICDE'15), included for load-balance comparisons;
+- **custom** — arbitrary routing function (used by the worst-case
+  policy of Section 4.2).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.errors import RoutingError
+
+KeySpec = Union[int, Callable[[tuple], Any]]
+
+
+def normalize_key_fn(key: KeySpec) -> Callable[[tuple], Any]:
+    """Turn a field index or callable into a key extraction function."""
+    if callable(key):
+        return key
+    if isinstance(key, int):
+        index = key
+
+        def extract(values: tuple) -> Any:
+            return values[index]
+
+        return extract
+    raise RoutingError(f"key must be a field index or callable, got {key!r}")
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(key: Any, seed: int = 0) -> int:
+    """Deterministic, process-independent hash of a key.
+
+    Python's builtin ``hash`` is randomized per process for strings.
+    CRC32 alone is *linear* (two key families differing by a constant
+    byte pattern would land at a constant XOR offset — catastrophically
+    correlating the owners of paired keys), so a splitmix64 finalizer
+    mixes the CRC with the seed non-linearly.
+    """
+    data = repr(key).encode("utf-8", errors="backslashreplace")
+    x = (zlib.crc32(data) ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class RouterContext:
+    """Everything a router may need about its edge at deployment time."""
+
+    __slots__ = (
+        "stream_name",
+        "src_instance",
+        "src_server",
+        "dst_placements",
+        "seed",
+    )
+
+    def __init__(
+        self,
+        stream_name: str,
+        src_instance: int,
+        src_server: int,
+        dst_placements: Sequence[int],
+        seed: int,
+    ) -> None:
+        self.stream_name = stream_name
+        self.src_instance = src_instance
+        self.src_server = src_server
+        self.dst_placements = list(dst_placements)
+        self.seed = seed
+
+
+class Router:
+    """Runtime routing decision for one (source instance, stream)."""
+
+    def select(self, values: tuple) -> List[int]:
+        """Destination instance indices for an emission."""
+        raise NotImplementedError
+
+
+class Grouping:
+    """Declarative routing policy; builds one router per source POI."""
+
+    def build_router(self, context: RouterContext) -> Router:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Shuffle
+# ----------------------------------------------------------------------
+
+
+class _ShuffleRouter(Router):
+    def __init__(self, num_destinations: int, start: int) -> None:
+        self._n = num_destinations
+        self._next = start % num_destinations
+
+    def select(self, values: tuple) -> List[int]:
+        dst = self._next
+        self._next = (dst + 1) % self._n
+        return [dst]
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin over destination instances (stateless POs only)."""
+
+    def build_router(self, context: RouterContext) -> Router:
+        n = len(context.dst_placements)
+        return _ShuffleRouter(n, start=context.src_instance)
+
+
+# ----------------------------------------------------------------------
+# Local-or-shuffle
+# ----------------------------------------------------------------------
+
+
+class _LocalOrShuffleRouter(Router):
+    def __init__(self, local: List[int], all_dsts: int, start: int) -> None:
+        self._local = local
+        self._n = all_dsts
+        self._next = start
+
+    def select(self, values: tuple) -> List[int]:
+        if self._local:
+            dst = self._local[self._next % len(self._local)]
+        else:
+            dst = self._next % self._n
+        self._next += 1
+        return [dst]
+
+
+class LocalOrShuffleGrouping(Grouping):
+    """Prefer a destination instance on the sender's server."""
+
+    def build_router(self, context: RouterContext) -> Router:
+        local = [
+            i
+            for i, server in enumerate(context.dst_placements)
+            if server == context.src_server
+        ]
+        return _LocalOrShuffleRouter(
+            local, len(context.dst_placements), start=context.src_instance
+        )
+
+
+# ----------------------------------------------------------------------
+# Fields grouping (hash-based)
+# ----------------------------------------------------------------------
+
+
+class _HashFieldsRouter(Router):
+    def __init__(self, key_fn, num_destinations: int, seed: int) -> None:
+        self._key_fn = key_fn
+        self._n = num_destinations
+        self._seed = seed
+
+    def select(self, values: tuple) -> List[int]:
+        key = self._key_fn(values)
+        return [stable_hash(key, self._seed) % self._n]
+
+
+class FieldsGrouping(Grouping):
+    """Key-based deterministic routing: all tuples sharing a key reach
+    the same destination instance.
+
+    Parameters
+    ----------
+    key:
+        A field index or ``callable(values) -> key``.
+    """
+
+    def __init__(self, key: KeySpec) -> None:
+        self.key_fn = normalize_key_fn(key)
+
+    def build_router(self, context: RouterContext) -> Router:
+        return _HashFieldsRouter(
+            self.key_fn, len(context.dst_placements), context.seed
+        )
+
+
+# ----------------------------------------------------------------------
+# Fields grouping driven by an explicit routing table
+# ----------------------------------------------------------------------
+
+
+class TableRouter(Router):
+    """Fields router with a swappable key→instance table.
+
+    The table is any object with ``lookup(key) -> Optional[int]``;
+    unknown keys fall back to hash routing, as in Section 3.3 of the
+    paper.
+    """
+
+    def __init__(self, key_fn, num_destinations: int, seed: int, table) -> None:
+        self._key_fn = key_fn
+        self._n = num_destinations
+        self._seed = seed
+        self._table = table
+
+    @property
+    def table(self):
+        return self._table
+
+    def update_table(self, table) -> None:
+        """Hot-swap the routing table (reconfiguration step 5)."""
+        self._table = table
+
+    def select(self, values: tuple) -> List[int]:
+        key = self._key_fn(values)
+        if self._table is not None:
+            instance = self._table.lookup(key)
+            if instance is not None:
+                if not 0 <= instance < self._n:
+                    raise RoutingError(
+                        f"routing table maps {key!r} to instance {instance}, "
+                        f"but stream has {self._n} destinations"
+                    )
+                return [instance]
+        return [stable_hash(key, self._seed) % self._n]
+
+
+class TableFieldsGrouping(Grouping):
+    """Fields grouping with an explicit (optional, swappable) table."""
+
+    def __init__(self, key: KeySpec, table=None) -> None:
+        self.key_fn = normalize_key_fn(key)
+        self.initial_table = table
+
+    def build_router(self, context: RouterContext) -> TableRouter:
+        return TableRouter(
+            self.key_fn,
+            len(context.dst_placements),
+            context.seed,
+            self.initial_table,
+        )
+
+
+# ----------------------------------------------------------------------
+# Global / broadcast
+# ----------------------------------------------------------------------
+
+
+class _ConstantRouter(Router):
+    def __init__(self, targets: List[int]) -> None:
+        self._targets = targets
+
+    def select(self, values: tuple) -> List[int]:
+        return list(self._targets)
+
+
+class GlobalGrouping(Grouping):
+    """Everything goes to instance 0."""
+
+    def build_router(self, context: RouterContext) -> Router:
+        return _ConstantRouter([0])
+
+
+class BroadcastGrouping(Grouping):
+    """Every emission is replicated to every destination instance."""
+
+    def build_router(self, context: RouterContext) -> Router:
+        return _ConstantRouter(list(range(len(context.dst_placements))))
+
+
+# ----------------------------------------------------------------------
+# Partial key grouping (baseline from related work)
+# ----------------------------------------------------------------------
+
+
+class _PartialKeyRouter(Router):
+    def __init__(self, key_fn, num_destinations: int, seed: int) -> None:
+        self._key_fn = key_fn
+        self._n = num_destinations
+        self._seed = seed
+        self._sent = [0] * num_destinations
+
+    def select(self, values: tuple) -> List[int]:
+        key = self._key_fn(values)
+        first = stable_hash(key, self._seed) % self._n
+        second = stable_hash(key, self._seed + 0x9E3779B9) % self._n
+        dst = first if self._sent[first] <= self._sent[second] else second
+        self._sent[dst] += 1
+        return [dst]
+
+
+class PartialKeyGrouping(Grouping):
+    """"Power of both choices" key routing (Nasir et al., ICDE'15).
+
+    Splits each key over two candidate instances, picking the less
+    loaded one locally. Better load balance than hash fields grouping,
+    but requires downstream aggregation for correctness — included here
+    as a load-balancing baseline only.
+    """
+
+    def __init__(self, key: KeySpec) -> None:
+        self.key_fn = normalize_key_fn(key)
+
+    def build_router(self, context: RouterContext) -> Router:
+        return _PartialKeyRouter(
+            self.key_fn, len(context.dst_placements), context.seed
+        )
+
+
+# ----------------------------------------------------------------------
+# Custom
+# ----------------------------------------------------------------------
+
+
+class _CustomRouter(Router):
+    def __init__(self, fn, context: RouterContext) -> None:
+        self._fn = fn
+        self._context = context
+
+    def select(self, values: tuple) -> List[int]:
+        result = self._fn(values, self._context)
+        if isinstance(result, int):
+            return [result]
+        return list(result)
+
+
+class CustomGrouping(Grouping):
+    """Route with an arbitrary function ``fn(values, context) -> index``
+    (or a list of indices). Used for the paper's worst-case policy."""
+
+    def __init__(self, fn: Callable[[tuple, RouterContext], Any]) -> None:
+        self.fn = fn
+
+    def build_router(self, context: RouterContext) -> Router:
+        return _CustomRouter(self.fn, context)

@@ -1,0 +1,159 @@
+"""Network model: per-server NIC queues, bandwidth and latency.
+
+Each server owns a full-duplex NIC modeled as two independent FIFO
+rate resources (egress and ingress). A remote transfer:
+
+1. serializes onto the sender's **egress** at ``size / bandwidth``;
+2. crosses the wire with a fixed propagation **latency**;
+3. serializes off the receiver's **ingress** at ``size / bandwidth``;
+4. is delivered.
+
+This reproduces both saturation regimes the paper exercises: a single
+sender's egress saturating, and in-cast (n-1 senders towards one
+receiver) saturating the ingress. Delivery order per (source,
+destination) pair is FIFO, which the reconfiguration protocol uses as a
+barrier property (see core.reconfiguration).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.simulator import Simulator
+
+
+class FifoChannel:
+    """A rate-limited FIFO resource (one direction of a NIC).
+
+    Work items are served back-to-back at ``rate`` bytes/second; the
+    completion callback fires when the last byte has passed.
+    """
+
+    __slots__ = ("_sim", "_rate", "_free_at", "busy_time", "bytes_served", "name")
+
+    def __init__(self, sim: Simulator, rate: Optional[float], name: str = ""):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0 or None, got {rate}")
+        self._sim = sim
+        self._rate = rate
+        self._free_at = 0.0
+        self.busy_time = 0.0
+        self.bytes_served = 0
+        self.name = name
+
+    @property
+    def rate(self) -> Optional[float]:
+        return self._rate
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time a new item could start service."""
+        return max(self._free_at, self._sim.now)
+
+    def reserve(self, nbytes: int, earliest: Optional[float] = None) -> float:
+        """Reserve FIFO service for ``nbytes`` starting no earlier than
+        ``earliest`` (default: now). Returns the completion time.
+
+        Reservations are made in submission order; with uniform
+        latencies this equals arrival order, so per-pair FIFO delivery
+        is preserved (a property the reconfiguration barrier needs).
+        """
+        now = self._sim.now
+        service = 0.0 if self._rate is None else nbytes / self._rate
+        start = max(now if earliest is None else earliest, self._free_at)
+        done = start + service
+        self._free_at = done
+        self.busy_time += service
+        self.bytes_served += nbytes
+        return done
+
+    def submit(self, nbytes: int, fn: Callable, *args: Any) -> float:
+        """Enqueue ``nbytes``; run ``fn(*args)`` at completion time.
+
+        Returns the completion time.
+        """
+        done = self.reserve(nbytes)
+        self._sim.schedule_at(done, fn, *args)
+        return done
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this channel spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Nic:
+    """The full-duplex NIC of one server."""
+
+    __slots__ = ("egress", "ingress")
+
+    def __init__(self, sim: Simulator, rate: Optional[float], name: str):
+        self.egress = FifoChannel(sim, rate, name=f"{name}.egress")
+        self.ingress = FifoChannel(sim, rate, name=f"{name}.ingress")
+
+
+class Network:
+    """The cluster interconnect.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Per-NIC, per-direction bandwidth; ``None`` means infinite.
+    latency_s:
+        Propagation latency between any two servers in the same rack.
+    inter_rack_latency_s:
+        Propagation latency across racks (defaults to ``latency_s``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_s: Optional[float],
+        latency_s: float = 50.0e-6,
+        inter_rack_latency_s: Optional[float] = None,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self._sim = sim
+        self._bandwidth = bandwidth_bytes_per_s
+        self._latency = latency_s
+        self._inter_rack_latency = (
+            latency_s if inter_rack_latency_s is None else inter_rack_latency_s
+        )
+        self._nics: dict = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def attach(self, server) -> Nic:
+        """Create (or return) the NIC for a server."""
+        nic = self._nics.get(server.index)
+        if nic is None:
+            nic = Nic(self._sim, self._bandwidth, name=f"server{server.index}")
+            self._nics[server.index] = nic
+        return nic
+
+    def nic(self, server_index: int) -> Nic:
+        return self._nics[server_index]
+
+    def latency_between(self, src, dst) -> float:
+        if src.rack == dst.rack:
+            return self._latency
+        return self._inter_rack_latency
+
+    def transfer(
+        self, src, dst, nbytes: int, fn: Callable, *args: Any
+    ) -> None:
+        """Move ``nbytes`` from ``src`` server to ``dst`` server, then
+        call ``fn(*args)`` on delivery."""
+        if src.index == dst.index:
+            raise ValueError(
+                f"transfer within server {src.index}; use direct delivery"
+            )
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        latency = self.latency_between(src, dst)
+        egress_done = self._nics[src.index].egress.reserve(nbytes)
+        arrival = egress_done + latency
+        ingress_done = self._nics[dst.index].ingress.reserve(nbytes, arrival)
+        self._sim.schedule_at(ingress_done, fn, *args)

@@ -1,0 +1,243 @@
+"""Operator (PO) base classes and common implementations.
+
+User logic subclasses :class:`Spout` or :class:`Bolt`; stateful bolts
+subclass :class:`StatefulBolt`, which adds the keyed-state API the
+migration protocol uses. One operator *object* is created per instance
+(POI) by the factory declared in the topology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional
+
+
+class OperatorContext:
+    """Execution context handed to operators.
+
+    Provides ``emit`` plus identity and clock information. The executor
+    collects emissions synchronously during ``process``/``next_tuple``
+    and dispatches them once the modeled service time has elapsed.
+    """
+
+    __slots__ = (
+        "operator_name",
+        "instance_index",
+        "num_instances",
+        "server_index",
+        "_now_fn",
+        "_emissions",
+    )
+
+    def __init__(
+        self,
+        operator_name: str,
+        instance_index: int,
+        num_instances: int,
+        server_index: int,
+        now_fn: Callable[[], float],
+    ) -> None:
+        self.operator_name = operator_name
+        self.instance_index = instance_index
+        self.num_instances = num_instances
+        self.server_index = server_index
+        self._now_fn = now_fn
+        self._emissions: List[tuple] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_fn()
+
+    def emit(self, values: Iterable[Any]) -> None:
+        """Emit a tuple downstream (on every output stream)."""
+        self._emissions.append(tuple(values))
+
+    def _drain(self) -> List[tuple]:
+        emissions = self._emissions
+        self._emissions = []
+        return emissions
+
+
+class Operator:
+    """Base for all operators."""
+
+    def open(self, context: OperatorContext) -> None:
+        """Called once when the instance is deployed."""
+
+    def close(self) -> None:
+        """Called when the simulation ends."""
+
+
+class Spout(Operator):
+    """A stream source.
+
+    ``next_tuple`` is invoked whenever the spout has spare pending
+    credit; it should call ``context.emit`` zero or more times and
+    return True if it did any work. Returning False with
+    ``finished == False`` makes the executor retry after a short idle
+    delay; with ``finished == True`` the spout stops for good.
+    """
+
+    @property
+    def finished(self) -> bool:
+        return False
+
+    def next_tuple(self, context: OperatorContext) -> bool:
+        raise NotImplementedError
+
+
+class Bolt(Operator):
+    """A processing operator."""
+
+    def process(self, tup, context: OperatorContext) -> None:
+        raise NotImplementedError
+
+
+class StatefulBolt(Bolt):
+    """A bolt with keyed state, migratable by the reconfiguration
+    protocol (Section 3.4 of the paper).
+
+    State is a plain ``dict`` key → value. Subclasses use
+    :meth:`state_for` / direct dict access; the protocol uses
+    :meth:`extract_state` and :meth:`install_state`.
+    """
+
+    def __init__(self) -> None:
+        self.state: Dict[Hashable, Any] = {}
+
+    def state_for(self, key: Hashable, default_factory=None) -> Any:
+        """Get (creating if needed) the state entry for ``key``."""
+        if key not in self.state and default_factory is not None:
+            self.state[key] = default_factory()
+        return self.state.get(key)
+
+    # -- migration API --------------------------------------------------
+
+    def extract_state(self, keys: Iterable[Hashable]) -> Dict[Hashable, Any]:
+        """Remove and return the state of ``keys`` (missing keys are
+        skipped: a key may have been assigned but never seen)."""
+        extracted: Dict[Hashable, Any] = {}
+        for key in keys:
+            if key in self.state:
+                extracted[key] = self.state.pop(key)
+        return extracted
+
+    def install_state(self, entries: Dict[Hashable, Any]) -> None:
+        """Install migrated state received from a peer instance.
+
+        Entries are merged with :meth:`merge_state_entry` when a key is
+        already present (possible when hash fallback and table routing
+        overlap transiently)."""
+        for key, value in entries.items():
+            if key in self.state:
+                self.state[key] = self.merge_state_entry(
+                    key, self.state[key], value
+                )
+            else:
+                self.state[key] = value
+
+    def merge_state_entry(self, key: Hashable, mine: Any, theirs: Any) -> Any:
+        """How to reconcile two state entries for the same key.
+
+        Default keeps the local entry; counting bolts override this to
+        add the two counters.
+        """
+        return mine
+
+
+class CountBolt(StatefulBolt):
+    """Counts occurrences of a key field, the paper's evaluation bolt.
+
+    Parameters
+    ----------
+    key:
+        Field index (or callable) identifying the counted key.
+    forward:
+        When True, the input tuple's values are re-emitted downstream
+        (PO ``A`` in the evaluation); sinks use False (PO ``B``).
+    """
+
+    def __init__(self, key: int = 0, forward: bool = True) -> None:
+        super().__init__()
+        if callable(key):
+            self._key_fn = key
+        else:
+            index = key
+            self._key_fn = lambda values: values[index]
+        self._forward = forward
+        self.processed = 0
+
+    def process(self, tup, context: OperatorContext) -> None:
+        key = self._key_fn(tup.values)
+        self.state[key] = self.state.get(key, 0) + 1
+        self.processed += 1
+        if self._forward:
+            context.emit(tup.values)
+
+    def merge_state_entry(self, key, mine, theirs):
+        return mine + theirs
+
+    def count(self, key: Hashable) -> int:
+        return self.state.get(key, 0)
+
+
+class PassThroughBolt(Bolt):
+    """Stateless identity bolt (used to model stateless POs)."""
+
+    def __init__(self, transform: Optional[Callable[[tuple], tuple]] = None):
+        self._transform = transform
+
+    def process(self, tup, context: OperatorContext) -> None:
+        values = tup.values
+        if self._transform is not None:
+            values = self._transform(values)
+        context.emit(values)
+
+
+class FunctionBolt(Bolt):
+    """Stateless bolt applying ``fn(values) -> iterable of value-tuples``.
+
+    Each element of the returned iterable is emitted as one tuple;
+    return an empty iterable to drop the input.
+    """
+
+    def __init__(self, fn: Callable[[tuple], Iterable[tuple]]):
+        self._fn = fn
+
+    def process(self, tup, context: OperatorContext) -> None:
+        for values in self._fn(tup.values):
+            context.emit(values)
+
+
+class IteratorSpout(Spout):
+    """Spout draining a Python iterator of value-tuples.
+
+    The iterator is created lazily at ``open`` from ``make_iterator``,
+    which receives the operator context — so each instance can generate
+    its own shard of the stream.
+    """
+
+    def __init__(self, make_iterator: Callable[[OperatorContext], Iterable]):
+        self._make_iterator = make_iterator
+        self._iterator = None
+        self._finished = False
+        self.emitted = 0
+
+    def open(self, context: OperatorContext) -> None:
+        self._iterator = iter(self._make_iterator(context))
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def next_tuple(self, context: OperatorContext) -> bool:
+        if self._finished:
+            return False
+        try:
+            values = next(self._iterator)
+        except StopIteration:
+            self._finished = True
+            return False
+        context.emit(values)
+        self.emitted += 1
+        return True

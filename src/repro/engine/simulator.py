@@ -1,0 +1,131 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: events are ``(time, sequence, callback)``
+entries in a binary heap. Ties in time are broken by insertion order,
+which gives deterministic FIFO semantics for same-instant events — the
+reconfiguration protocol relies on this for its channel ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule` so
+    callers can cancel it."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, fn={self.fn.__name__}{state})"
+
+
+class Simulator:
+    """Event loop with a simulated clock (seconds as float)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains, the clock passes ``until``,
+        or ``max_events`` have executed. Returns the number executed.
+
+        When stopping at ``until``, the clock is advanced to exactly
+        ``until`` (events after it stay queued).
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(heap)
+            self._now = event.time
+            self._executed += 1
+            executed += 1
+            event.fn(*event.args)
+        if until is not None and until > self._now:
+            self._now = until
+        return executed

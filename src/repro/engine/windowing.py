@@ -1,0 +1,177 @@
+"""Windowed stateful operators.
+
+The paper's motivating application — "the Twitter infrastructure ...
+maintains a list of trending hashtags" — needs more than running
+counters: trends are computed over *windows*. These operators provide
+tumbling-window aggregation on top of the keyed-state API, so their
+state migrates through the reconfiguration protocol like any other.
+
+Windows are flushed lazily: the simulation has no operator timers, so
+a window closes when the first tuple of a later window arrives (the
+common practice in watermark-less engines).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional
+
+from repro.engine.operators import OperatorContext, StatefulBolt
+from repro.spacesaving import SpaceSaving
+
+
+class TumblingWindowCountBolt(StatefulBolt):
+    """Counts keys within fixed, non-overlapping time windows.
+
+    On the first tuple of a new window, one tuple
+    ``(window_start, key, count)`` is emitted for every key counted in
+    the closed window.
+
+    Parameters
+    ----------
+    key:
+        Field index (or callable) extracting the counted key.
+    window_s:
+        Window length in (simulated) seconds.
+    forward:
+        When True, the input tuple's values are also re-emitted
+        (pass-through counting).
+    emit_on_flush:
+        When False, closed windows are only recorded in
+        ``flushed_windows`` instead of being emitted — for mid-chain
+        statistics stages whose downstream consumes the *raw* stream.
+    """
+
+    def __init__(
+        self,
+        key: int = 0,
+        window_s: float = 1.0,
+        forward: bool = False,
+        emit_on_flush: bool = True,
+    ) -> None:
+        super().__init__()
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if callable(key):
+            self._key_fn = key
+        else:
+            index = key
+            self._key_fn = lambda values: values[index]
+        self.window_s = window_s
+        self._forward = forward
+        self._emit_on_flush = emit_on_flush
+        self._window_start: Optional[float] = None
+        #: (window_start, num_keys, total_count) of closed windows when
+        #: emit_on_flush is off
+        self.flushed_windows = []
+
+    def window_of(self, time_s: float) -> float:
+        return (time_s // self.window_s) * self.window_s
+
+    def process(self, tup, context: OperatorContext) -> None:
+        window = self.window_of(context.now)
+        if self._window_start is None:
+            self._window_start = window
+        elif window > self._window_start:
+            self.flush(context)
+            self._window_start = window
+        key = self._key_fn(tup.values)
+        self.state[key] = self.state.get(key, 0) + 1
+        if self._forward:
+            context.emit(tup.values)
+
+    def flush(self, context: OperatorContext) -> None:
+        """Emit (or record) and clear the current window's counts."""
+        window = self._window_start
+        if self._emit_on_flush:
+            for key, count in sorted(
+                self.state.items(), key=lambda kv: str(kv[0])
+            ):
+                context.emit((window, key, count))
+        else:
+            self.flushed_windows.append(
+                (window, len(self.state), sum(self.state.values()))
+            )
+        self.state.clear()
+
+    def merge_state_entry(self, key, mine, theirs):
+        return mine + theirs
+
+
+class TopKBolt(StatefulBolt):
+    """Maintains the top-k heavy hitters per key group using
+    SpaceSaving — the "trending hashtags" operator.
+
+    Input tuples carry a *group* field (e.g. a region) and an *item*
+    field (e.g. a hashtag); the bolt keeps one bounded sketch per
+    group. On the first tuple of a new window it emits, per group, one
+    tuple ``(window_start, group, [(item, count), ...])`` with the
+    current top-k, then resets the sketches.
+
+    The per-group sketches are keyed state, so reassigning a group to
+    another instance migrates its sketch.
+    """
+
+    def __init__(
+        self,
+        group: int = 0,
+        item: int = 1,
+        k: int = 10,
+        capacity: int = 256,
+        window_s: float = 1.0,
+        sketch_factory: Callable[[int], Any] = SpaceSaving,
+    ) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self._group_fn = group if callable(group) else (
+            lambda values, _index=group: values[_index]
+        )
+        self._item_fn = item if callable(item) else (
+            lambda values, _index=item: values[_index]
+        )
+        self.k = k
+        self.capacity = capacity
+        self.window_s = window_s
+        self._sketch_factory = sketch_factory
+        self._window_start: Optional[float] = None
+
+    def process(self, tup, context: OperatorContext) -> None:
+        window = (context.now // self.window_s) * self.window_s
+        if self._window_start is None:
+            self._window_start = window
+        elif window > self._window_start:
+            self.flush(context)
+            self._window_start = window
+        group = self._group_fn(tup.values)
+        sketch = self.state.get(group)
+        if sketch is None:
+            sketch = self._sketch_factory(self.capacity)
+            self.state[group] = sketch
+        sketch.offer(self._item_fn(tup.values))
+
+    def flush(self, context: OperatorContext) -> None:
+        """Emit each group's current top-k and reset the sketches."""
+        window = self._window_start
+        for group in sorted(self.state, key=str):
+            sketch = self.state[group]
+            ranking = tuple(
+                (estimate.item, estimate.count)
+                for estimate in sketch.top(self.k)
+            )
+            context.emit((window, group, ranking))
+        self.state.clear()
+
+    def top(self, group: Hashable, k: Optional[int] = None):
+        """Current in-window ranking of one group (for inspection)."""
+        sketch = self.state.get(group)
+        if sketch is None:
+            return []
+        return [
+            (estimate.item, estimate.count)
+            for estimate in sketch.top(k or self.k)
+        ]
+
+    def merge_state_entry(self, key, mine, theirs):
+        return mine.merge(theirs)

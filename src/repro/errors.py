@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """The topology definition is invalid (cycle, unknown component, ...)."""
+
+
+class DeploymentError(ReproError):
+    """The topology cannot be deployed on the given cluster."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected while running the simulator."""
+
+
+class PartitioningError(ReproError):
+    """The graph partitioner received invalid input or cannot satisfy
+    its balance constraint."""
+
+
+class RoutingError(ReproError):
+    """A routing table or grouping was used inconsistently."""
+
+
+class ReconfigurationError(ReproError):
+    """The online reconfiguration protocol reached an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

@@ -1,0 +1,28 @@
+"""Multilevel graph partitioning (Metis substitute).
+
+The paper partitions the bipartite key graph with the Metis library
+(Karypis & Kumar, SIAM J. Sci. Comput. 1998). Metis is a C library and is
+not available here, so this subpackage implements the same algorithmic
+recipe from scratch:
+
+1. **Coarsening** by heavy-edge matching until the graph is small.
+2. **Initial bisection** by greedy graph growing (best of several seeds).
+3. **Uncoarsening** with Fiduccia–Mattheyses boundary refinement at every
+   level, under a vertex-weight balance constraint.
+4. **k-way** partitioning by recursive bisection with proportional
+   target weights.
+
+Public API:
+
+- :class:`~repro.partitioning.graph.Graph` — weighted undirected graph.
+- :func:`~repro.partitioning.kway.partition` — k-way partitioning,
+  ``partition(graph, nparts, imbalance=1.03, seed=0) -> list[int]``.
+- :func:`~repro.partitioning.quality.edge_cut`,
+  :func:`~repro.partitioning.quality.balance` — quality metrics.
+"""
+
+from repro.partitioning.graph import Graph
+from repro.partitioning.kway import partition
+from repro.partitioning.quality import balance, edge_cut, part_weights
+
+__all__ = ["Graph", "partition", "edge_cut", "balance", "part_weights"]

@@ -1,0 +1,44 @@
+"""Multilevel bisection: coarsen, partition, uncoarsen + refine."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.partitioning.coarsen import coarsen_until
+from repro.partitioning.graph import Graph
+from repro.partitioning.initial import greedy_bisection
+from repro.partitioning.refine import fm_refine
+
+#: Stop coarsening below this many vertices; the coarsest graph is
+#: partitioned directly by greedy growing.
+COARSE_THRESHOLD = 60
+
+
+def multilevel_bisection(
+    graph: Graph,
+    target0: float,
+    max_weights: Sequence[float],
+    rng: random.Random,
+    coarse_threshold: int = COARSE_THRESHOLD,
+    initial_attempts: int = 8,
+    refine_passes: int = 8,
+) -> List[int]:
+    """Bisect ``graph`` targeting weight ``target0`` for part 0.
+
+    Returns the partition vector (entries in {0, 1}).
+    """
+    if graph.num_vertices == 0:
+        return []
+    if graph.num_vertices == 1:
+        return [0]
+
+    coarsest, levels = coarsen_until(graph, rng, min_vertices=coarse_threshold)
+    parts = greedy_bisection(
+        coarsest, target0, max_weights, rng, attempts=initial_attempts
+    )
+    fm_refine(coarsest, parts, max_weights, max_passes=refine_passes)
+    for level in reversed(levels):
+        parts = level.project(parts)
+        fm_refine(level.fine, parts, max_weights, max_passes=refine_passes)
+    return parts

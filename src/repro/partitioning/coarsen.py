@@ -1,0 +1,102 @@
+"""Coarse graph construction from a matching.
+
+Each matched pair (and each unmatched vertex) becomes one coarse vertex.
+Coarse vertex weights are the sums of their constituents; parallel fine
+edges are accumulated and edges internal to a pair disappear (they can
+never be cut again at coarser levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.partitioning.graph import Graph
+
+
+@dataclass
+class CoarseningLevel:
+    """One level of the multilevel hierarchy.
+
+    Attributes
+    ----------
+    fine:
+        The finer graph.
+    coarse:
+        The coarser graph built from ``fine``.
+    fine_to_coarse:
+        ``fine_to_coarse[v]`` is the coarse vertex containing fine ``v``.
+    """
+
+    fine: Graph
+    coarse: Graph
+    fine_to_coarse: List[int]
+
+    def project(self, coarse_parts: List[int]) -> List[int]:
+        """Project a coarse partition vector back onto the fine graph."""
+        return [coarse_parts[c] for c in self.fine_to_coarse]
+
+
+def coarsen(graph: Graph, match: List[int]) -> CoarseningLevel:
+    """Collapse a matching into a coarse graph."""
+    n = graph.num_vertices
+    fine_to_coarse = [-1] * n
+    coarse_weights: List[float] = []
+    for v in range(n):
+        if fine_to_coarse[v] != -1:
+            continue
+        partner = match[v]
+        coarse_id = len(coarse_weights)
+        fine_to_coarse[v] = coarse_id
+        weight = graph.vertex_weight(v)
+        if partner != v:
+            fine_to_coarse[partner] = coarse_id
+            weight += graph.vertex_weight(partner)
+        coarse_weights.append(weight)
+
+    coarse = Graph(len(coarse_weights), coarse_weights)
+    for u, v, weight in graph.edges():
+        cu = fine_to_coarse[u]
+        cv = fine_to_coarse[v]
+        if cu != cv:
+            coarse.add_edge(cu, cv, weight)
+    return CoarseningLevel(fine=graph, coarse=coarse, fine_to_coarse=fine_to_coarse)
+
+
+def coarsen_until(
+    graph: Graph,
+    rng,
+    min_vertices: int,
+    min_reduction: float = 0.95,
+    max_levels: int = 64,
+) -> Tuple[Graph, List[CoarseningLevel]]:
+    """Repeatedly coarsen until the graph is small or progress stalls.
+
+    Parameters
+    ----------
+    min_vertices:
+        Stop once the coarse graph has at most this many vertices.
+    min_reduction:
+        Stop when a level shrinks the vertex count by less than
+        ``1 - min_reduction`` (i.e. ``coarse_n > min_reduction * fine_n``),
+        which happens on star-like graphs where matching saturates.
+
+    Returns
+    -------
+    (coarsest_graph, levels)
+        ``levels`` is ordered from finest to coarsest.
+    """
+    from repro.partitioning.matching import heavy_edge_matching
+
+    levels: List[CoarseningLevel] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.num_vertices <= min_vertices:
+            break
+        match = heavy_edge_matching(current, rng)
+        level = coarsen(current, match)
+        if level.coarse.num_vertices > min_reduction * current.num_vertices:
+            break
+        levels.append(level)
+        current = level.coarse
+    return current, levels

@@ -1,0 +1,189 @@
+"""Weighted undirected graph used by the partitioner.
+
+Vertices are integers ``0..n-1``. Each vertex carries a non-negative
+weight (key frequency, in the paper's usage) and each edge a positive
+weight (key-pair co-occurrence count). Parallel edge insertions
+accumulate; self-loops are rejected because they never contribute to an
+edge cut.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PartitioningError
+
+
+class Graph:
+    """Adjacency-map weighted undirected graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+    vertex_weights:
+        Optional per-vertex weights (default: all 1.0). Must be
+        non-negative.
+    """
+
+    __slots__ = ("_adj", "_vertex_weights", "_total_edge_weight", "_num_edges")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        vertex_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise PartitioningError(
+                f"num_vertices must be >= 0, got {num_vertices}"
+            )
+        if vertex_weights is None:
+            self._vertex_weights: List[float] = [1.0] * num_vertices
+        else:
+            if len(vertex_weights) != num_vertices:
+                raise PartitioningError(
+                    f"expected {num_vertices} vertex weights, "
+                    f"got {len(vertex_weights)}"
+                )
+            weights = [float(w) for w in vertex_weights]
+            if any(w < 0 for w in weights):
+                raise PartitioningError("vertex weights must be >= 0")
+            self._vertex_weights = weights
+        self._adj: List[Dict[int, float]] = [{} for _ in range(num_vertices)]
+        self._total_edge_weight = 0.0
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int, float]],
+        vertex_weights: Optional[Sequence[float]] = None,
+    ) -> "Graph":
+        """Build a graph from ``(u, v, weight)`` triples."""
+        graph = cls(num_vertices, vertex_weights)
+        for u, v, weight in edges:
+            graph.add_edge(u, v, weight)
+        return graph
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add (or accumulate onto) the undirected edge ``{u, v}``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise PartitioningError(f"self-loop on vertex {u} rejected")
+        if weight <= 0:
+            raise PartitioningError(f"edge weight must be > 0, got {weight}")
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
+        self._adj[v][u] = self._adj[v].get(u, 0.0) + weight
+        self._total_edge_weight += weight
+
+    def set_vertex_weight(self, v: int, weight: float) -> None:
+        self._check_vertex(v)
+        if weight < 0:
+            raise PartitioningError(f"vertex weight must be >= 0, got {weight}")
+        self._vertex_weights[v] = float(weight)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def total_edge_weight(self) -> float:
+        return self._total_edge_weight
+
+    @property
+    def total_vertex_weight(self) -> float:
+        return sum(self._vertex_weights)
+
+    def vertex_weight(self, v: int) -> float:
+        self._check_vertex(v)
+        return self._vertex_weights[v]
+
+    def vertex_weights(self) -> List[float]:
+        """A copy of the vertex weight vector."""
+        return list(self._vertex_weights)
+
+    def neighbors(self, v: int) -> Dict[int, float]:
+        """Mapping neighbor -> edge weight. Do not mutate."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def adjacency_weight(self, v: int) -> float:
+        """Sum of the weights of edges incident to ``v``."""
+        self._check_vertex(v)
+        return sum(self._adj[v].values())
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``, 0.0 if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._adj[u].get(v, 0.0)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, weight)`` (u < v)."""
+        for u, adjacency in enumerate(self._adj):
+            for v, weight in adjacency.items():
+                if u < v:
+                    yield u, v, weight
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", List[int]]:
+        """Induced subgraph over ``vertices``.
+
+        Returns
+        -------
+        (subgraph, selected)
+            ``selected[i]`` is the original id of subgraph vertex ``i``.
+        """
+        selected = list(vertices)
+        index = {v: i for i, v in enumerate(selected)}
+        if len(index) != len(selected):
+            raise PartitioningError("duplicate vertices in subgraph selection")
+        sub = Graph(
+            len(selected),
+            [self._vertex_weights[v] for v in selected],
+        )
+        for i, v in enumerate(selected):
+            for neighbor, weight in self._adj[v].items():
+                j = index.get(neighbor)
+                if j is not None and i < j:
+                    sub.add_edge(i, j, weight)
+        return sub, selected
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._adj):
+            raise PartitioningError(
+                f"vertex {v} out of range [0, {len(self._adj)})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

@@ -1,0 +1,109 @@
+"""Initial bisection of the coarsest graph: greedy graph growing.
+
+Greedy Graph Growing Partitioning (GGGP) grows part 0 from a random seed
+vertex, repeatedly absorbing the frontier vertex whose move decreases the
+cut the most, until part 0 reaches its target weight. Several attempts
+with different seeds are made and the best bisection (fewest balance
+violations, then smallest cut) is kept.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.partitioning.graph import Graph
+from repro.partitioning.quality import edge_cut
+
+
+def _grow_once(graph: Graph, target0: float, rng: random.Random) -> List[int]:
+    """One GGGP growth: returns a 0/1 partition vector."""
+    n = graph.num_vertices
+    parts = [1] * n
+    if n == 0:
+        return parts
+    weight0 = 0.0
+    remaining = set(range(n))
+    # gain[v] = cut decrease when moving v into part 0
+    gains = {}
+    heap: List[Tuple[float, int, int]] = []
+    counter = 0
+
+    def push(v: int) -> None:
+        nonlocal counter
+        heapq.heappush(heap, (-gains[v], counter, v))
+        counter += 1
+
+    def seed() -> None:
+        v = rng.choice(tuple(remaining))
+        gains[v] = 0.0
+        push(v)
+
+    seed()
+    while weight0 < target0 and remaining:
+        while heap:
+            negative_gain, _, v = heapq.heappop(heap)
+            if v in remaining and gains.get(v) == -negative_gain:
+                break
+        else:
+            # Frontier exhausted (disconnected graph): restart elsewhere.
+            seed()
+            continue
+        parts[v] = 0
+        remaining.discard(v)
+        gains.pop(v, None)
+        weight0 += graph.vertex_weight(v)
+        for neighbor, weight in graph.neighbors(v).items():
+            if neighbor not in remaining:
+                continue
+            # Moving `neighbor` into part 0 now saves edge {v, neighbor}.
+            gains[neighbor] = gains.get(
+                neighbor, -graph.adjacency_weight(neighbor)
+            ) + 2.0 * weight
+            push(neighbor)
+    return parts
+
+
+def _violation(
+    graph: Graph, parts: Sequence[int], max_weights: Sequence[float]
+) -> float:
+    weights = [0.0, 0.0]
+    for v, part in enumerate(parts):
+        weights[part] += graph.vertex_weight(v)
+    return max(0.0, weights[0] - max_weights[0]) + max(
+        0.0, weights[1] - max_weights[1]
+    )
+
+
+def greedy_bisection(
+    graph: Graph,
+    target0: float,
+    max_weights: Sequence[float],
+    rng: random.Random,
+    attempts: int = 8,
+) -> List[int]:
+    """Best-of-``attempts`` GGGP bisection.
+
+    Parameters
+    ----------
+    target0:
+        Desired total vertex weight of part 0.
+    max_weights:
+        Hard caps ``(max_weight_part0, max_weight_part1)`` used to rank
+        candidate bisections (violation is minimized first).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    best: Optional[List[int]] = None
+    best_key: Optional[Tuple[float, float]] = None
+    for _ in range(max(1, attempts)):
+        parts = _grow_once(graph, target0, rng)
+        key = (_violation(graph, parts, max_weights), edge_cut(graph, parts))
+        if best_key is None or key < best_key:
+            best, best_key = parts, key
+    assert best is not None
+    return best

@@ -1,0 +1,178 @@
+"""Fiduccia–Mattheyses (FM) refinement for bisections.
+
+FM performs passes of single-vertex moves. Within a pass every vertex
+moves at most once (it is *locked* afterwards); moves are chosen greedily
+by cut gain among moves that respect — or improve — the balance
+constraint. The pass keeps the move prefix achieving the smallest cut and
+rolls the rest back, which lets FM climb out of local minima that pure
+greedy descent cannot.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from repro.partitioning.graph import Graph
+from repro.partitioning.quality import edge_cut
+
+_EPSILON = 1e-9
+
+
+def _gains(graph: Graph, parts: List[int]) -> List[float]:
+    """gain[v] = cut decrease if v switches sides = external - internal."""
+    gains = [0.0] * graph.num_vertices
+    for u, v, weight in graph.edges():
+        if parts[u] != parts[v]:
+            gains[u] += weight
+            gains[v] += weight
+        else:
+            gains[u] -= weight
+            gains[v] -= weight
+    return gains
+
+
+def fm_refine(
+    graph: Graph,
+    parts: List[int],
+    max_weights: Sequence[float],
+    max_passes: int = 8,
+) -> float:
+    """Refine a 0/1 partition in place; return the final edge cut.
+
+    Parameters
+    ----------
+    parts:
+        Partition vector with entries in {0, 1}; modified in place.
+    max_weights:
+        Balance caps per side. A move into side ``d`` is admissible when
+        the new weight of ``d`` stays under ``max_weights[d]``, or when
+        the source side currently violates its own cap and the move
+        shrinks the total violation.
+    max_passes:
+        Upper bound on FM passes; iteration stops earlier when a pass
+        yields no improvement.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+
+    weights = [0.0, 0.0]
+    for v, part in enumerate(parts):
+        weights[part] += graph.vertex_weight(v)
+    cut = edge_cut(graph, parts)
+
+    for _ in range(max_passes):
+        improved = _fm_pass(graph, parts, weights, max_weights, cut)
+        if improved is None:
+            break
+        new_cut, balance_gain = improved
+        if new_cut >= cut - _EPSILON and not balance_gain:
+            cut = min(cut, new_cut)
+            break
+        cut = new_cut
+    return cut
+
+
+def _fm_pass(
+    graph: Graph,
+    parts: List[int],
+    weights: List[float],
+    max_weights: Sequence[float],
+    start_cut: float,
+):
+    """One FM pass. Returns ``(cut, balance_improved)`` or None if no
+    move was possible. ``parts`` and ``weights`` are updated in place."""
+    n = graph.num_vertices
+    gains = _gains(graph, parts)
+    locked = [False] * n
+    # Intermediate states may exceed the caps by one vertex's weight;
+    # the best-prefix rollback below guarantees the *returned* state is
+    # never worse than the starting one on (violation, cut). Without
+    # this slack, no swap could ever start from a tightly packed side.
+    slack = max((graph.vertex_weight(v) for v in range(n)), default=0.0)
+    heap: List[Tuple[float, int, int]] = []
+    counter = 0
+    for v in range(n):
+        heapq.heappush(heap, (-gains[v], counter, v))
+        counter += 1
+
+    def violation(w0: float, w1: float) -> float:
+        return max(0.0, w0 - max_weights[0]) + max(0.0, w1 - max_weights[1])
+
+    start_violation = violation(weights[0], weights[1])
+    moves: List[int] = []
+    cut = start_cut
+    best_cut = start_cut
+    best_violation = start_violation
+    best_prefix = 0
+
+    while heap:
+        # Pop the best *valid and admissible* move.
+        stash: List[Tuple[float, int, int]] = []
+        chosen = -1
+        while heap:
+            negative_gain, seq, v = heapq.heappop(heap)
+            if locked[v] or gains[v] != -negative_gain:
+                continue
+            src = parts[v]
+            dst = 1 - src
+            vertex_weight = graph.vertex_weight(v)
+            fits = (
+                weights[dst] + vertex_weight
+                <= max_weights[dst] + slack + _EPSILON
+            )
+            old_violation = violation(weights[0], weights[1])
+            new_w = list(weights)
+            new_w[src] -= vertex_weight
+            new_w[dst] += vertex_weight
+            shrinks = violation(new_w[0], new_w[1]) < old_violation - _EPSILON
+            if fits or shrinks:
+                chosen = v
+                break
+            stash.append((negative_gain, seq, v))
+        for entry in stash:
+            heapq.heappush(heap, entry)
+        if chosen == -1:
+            break
+
+        v = chosen
+        src = parts[v]
+        dst = 1 - src
+        vertex_weight = graph.vertex_weight(v)
+        cut -= gains[v]
+        weights[src] -= vertex_weight
+        weights[dst] += vertex_weight
+        parts[v] = dst
+        locked[v] = True
+        moves.append(v)
+        for neighbor, weight in graph.neighbors(v).items():
+            if locked[neighbor]:
+                continue
+            if parts[neighbor] == src:
+                gains[neighbor] += 2.0 * weight
+            else:
+                gains[neighbor] -= 2.0 * weight
+            heapq.heappush(heap, (-gains[neighbor], counter, neighbor))
+            counter += 1
+
+        current_violation = violation(weights[0], weights[1])
+        if (current_violation, cut) < (best_violation, best_cut):
+            best_violation = current_violation
+            best_cut = cut
+            best_prefix = len(moves)
+
+    if not moves:
+        return None
+
+    # Roll back moves after the best prefix.
+    for v in moves[best_prefix:]:
+        dst = parts[v]
+        src = 1 - dst
+        vertex_weight = graph.vertex_weight(v)
+        weights[dst] -= vertex_weight
+        weights[src] += vertex_weight
+        parts[v] = src
+
+    balance_improved = best_violation < start_violation - _EPSILON
+    return best_cut, balance_improved

@@ -1,0 +1,20 @@
+"""Bounded-memory frequent-item estimation (SpaceSaving).
+
+This subpackage implements the SpaceSaving algorithm of Metwally, Agrawal
+and El Abbadi (ICDT'05), which the paper uses to collect key-pair
+frequency statistics inside operator instances with a fixed memory budget
+(Section 3.2 of the paper).
+
+Public API:
+
+- :class:`~repro.spacesaving.sketch.SpaceSaving` — the sketch itself.
+- :class:`~repro.spacesaving.sketch.ItemEstimate` — (item, count, error).
+- :class:`~repro.spacesaving.exact.ExactCounter` — an exact counter with
+  the same interface, used as the offline baseline.
+"""
+
+from repro.spacesaving.exact import ExactCounter
+from repro.spacesaving.sketch import ItemEstimate, SpaceSaving
+from repro.spacesaving.summary import StreamSummary
+
+__all__ = ["SpaceSaving", "ItemEstimate", "ExactCounter", "StreamSummary"]

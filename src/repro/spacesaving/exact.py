@@ -1,0 +1,89 @@
+"""Exact frequency counting with the SpaceSaving interface.
+
+Used as the *offline* statistics collector (Section 3.2 of the paper):
+when a full trace sample is available, exact pair frequencies can be
+computed without a memory bound. Having the same interface as
+:class:`~repro.spacesaving.sketch.SpaceSaving` lets the manager and the
+trace-evaluation harness swap collectors freely (e.g. for the Fig. 12
+edge-budget experiment).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterator, List, Optional
+
+from repro.spacesaving.sketch import ItemEstimate
+
+
+class ExactCounter:
+    """Unbounded exact counter exposing the SpaceSaving query API."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        # ``capacity`` is accepted (and ignored) for interface parity.
+        self._counts: Counter = Counter()
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # Stream ingestion
+    # ------------------------------------------------------------------
+
+    def offer(self, item: Hashable, weight: int = 1) -> None:
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        self._counts[item] += weight
+        self._n += weight
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return None
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._counts
+
+    def estimate(self, item: Hashable) -> Optional[ItemEstimate]:
+        if item not in self._counts:
+            return None
+        return ItemEstimate(item, self._counts[item], 0)
+
+    def max_error(self) -> int:
+        return 0
+
+    def items(self) -> Iterator[ItemEstimate]:
+        for item, count in self._counts.most_common():
+            yield ItemEstimate(item, count, 0)
+
+    def top(self, k: int) -> List[ItemEstimate]:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return [
+            ItemEstimate(item, count, 0)
+            for item, count in self._counts.most_common(k)
+        ]
+
+    def guaranteed_top(self, k: int) -> List[ItemEstimate]:
+        return self.top(k)
+
+    def merge(self, other: "ExactCounter") -> "ExactCounter":
+        merged = ExactCounter()
+        merged._counts = self._counts + other._counts
+        merged._n = self._n + other._n
+        return merged
+
+    def __repr__(self) -> str:
+        return f"ExactCounter(distinct={len(self)}, n={self._n})"

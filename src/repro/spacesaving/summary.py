@@ -1,0 +1,278 @@
+"""Stream-Summary data structure backing the SpaceSaving sketch.
+
+The Stream-Summary (Metwally et al., ICDT'05) keeps monitored items in
+buckets sorted by count. Buckets form a doubly-linked list in ascending
+count order, and each bucket holds a doubly-linked list of item nodes
+sharing that count. This makes the three operations SpaceSaving needs
+O(1) amortized for unit increments:
+
+- increment the count of a monitored item,
+- find the item with the minimum count,
+- replace the minimum item with a new one.
+
+Weighted increments are supported by walking forward from the current
+bucket; the walk is bounded by the number of distinct counts crossed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional, Tuple
+
+
+class _Node:
+    """A monitored item: its identity and its maximum overestimation."""
+
+    __slots__ = ("item", "error", "bucket", "prev", "next")
+
+    def __init__(self, item: Hashable, error: int) -> None:
+        self.item = item
+        self.error = error
+        self.bucket: Optional[_Bucket] = None
+        self.prev: Optional[_Node] = None
+        self.next: Optional[_Node] = None
+
+
+class _Bucket:
+    """All monitored items sharing one count value."""
+
+    __slots__ = ("count", "head", "prev", "next")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.head: Optional[_Node] = None
+        self.prev: Optional[_Bucket] = None
+        self.next: Optional[_Bucket] = None
+
+    def attach(self, node: _Node) -> None:
+        node.bucket = self
+        node.prev = None
+        node.next = self.head
+        if self.head is not None:
+            self.head.prev = node
+        self.head = node
+
+    def detach(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        node.prev = None
+        node.next = None
+        node.bucket = None
+
+    @property
+    def empty(self) -> bool:
+        return self.head is None
+
+
+class StreamSummary:
+    """Bucketed counter structure with O(1) min lookup and increment.
+
+    This class only manages counts; the *policy* of which item to evict
+    (SpaceSaving) lives in :class:`repro.spacesaving.sketch.SpaceSaving`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of monitored items. Must be >= 1.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._nodes: dict = {}
+        # Sentinel-free list: _min_bucket is the bucket with the smallest
+        # count, _max_bucket the largest.
+        self._min_bucket: Optional[_Bucket] = None
+        self._max_bucket: Optional[_Bucket] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._nodes
+
+    @property
+    def full(self) -> bool:
+        return len(self._nodes) >= self._capacity
+
+    def count_of(self, item: Hashable) -> Tuple[int, int]:
+        """Return ``(count, error)`` for a monitored item.
+
+        Raises
+        ------
+        KeyError
+            If the item is not currently monitored.
+        """
+        node = self._nodes[item]
+        assert node.bucket is not None
+        return node.bucket.count, node.error
+
+    def min_count(self) -> int:
+        """Count of the least-frequent monitored item (0 when empty)."""
+        if self._min_bucket is None:
+            return 0
+        return self._min_bucket.count
+
+    def min_item(self) -> Hashable:
+        """The item that would be evicted next.
+
+        Raises
+        ------
+        KeyError
+            If the structure is empty.
+        """
+        if self._min_bucket is None or self._min_bucket.head is None:
+            raise KeyError("StreamSummary is empty")
+        return self._min_bucket.head.item
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, item: Hashable, count: int, error: int) -> None:
+        """Start monitoring a new item with the given count and error."""
+        if item in self._nodes:
+            raise ValueError(f"item {item!r} already monitored")
+        if len(self._nodes) >= self._capacity:
+            raise ValueError("StreamSummary is full; evict before insert")
+        node = _Node(item, error)
+        bucket = self._find_or_create_bucket(count, start=self._min_bucket)
+        bucket.attach(node)
+        self._nodes[item] = node
+
+    def increment(self, item: Hashable, weight: int = 1) -> int:
+        """Add ``weight`` to a monitored item's count; return the new count."""
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        node = self._nodes[item]
+        old_bucket = node.bucket
+        assert old_bucket is not None
+        new_count = old_bucket.count + weight
+        old_bucket.detach(node)
+        target = self._find_or_create_bucket(new_count, start=old_bucket)
+        target.attach(node)
+        if old_bucket.empty:
+            self._remove_bucket(old_bucket)
+        return new_count
+
+    def evict_min(self) -> Tuple[Hashable, int]:
+        """Remove and return ``(item, count)`` of the least-frequent item."""
+        if self._min_bucket is None or self._min_bucket.head is None:
+            raise KeyError("StreamSummary is empty")
+        bucket = self._min_bucket
+        node = bucket.head
+        assert node is not None
+        count = bucket.count
+        bucket.detach(node)
+        if bucket.empty:
+            self._remove_bucket(bucket)
+        del self._nodes[node.item]
+        return node.item, count
+
+    def clear(self) -> None:
+        """Forget every monitored item."""
+        self._nodes.clear()
+        self._min_bucket = None
+        self._max_bucket = None
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def items_descending(self) -> Iterator[Tuple[Hashable, int, int]]:
+        """Yield ``(item, count, error)`` from most to least frequent."""
+        bucket = self._max_bucket
+        while bucket is not None:
+            node = bucket.head
+            while node is not None:
+                yield node.item, bucket.count, node.error
+                node = node.next
+            bucket = bucket.prev
+
+    def items_ascending(self) -> Iterator[Tuple[Hashable, int, int]]:
+        """Yield ``(item, count, error)`` from least to most frequent."""
+        bucket = self._min_bucket
+        while bucket is not None:
+            node = bucket.head
+            while node is not None:
+                yield node.item, bucket.count, node.error
+                node = node.next
+            bucket = bucket.next
+
+    # ------------------------------------------------------------------
+    # Internal bucket-list maintenance
+    # ------------------------------------------------------------------
+
+    def _find_or_create_bucket(
+        self, count: int, start: Optional[_Bucket]
+    ) -> _Bucket:
+        """Locate the bucket for ``count``, creating it if needed.
+
+        The search walks forward (towards larger counts) from ``start``,
+        which for unit increments visits at most one existing bucket.
+        """
+        if self._min_bucket is None:
+            bucket = _Bucket(count)
+            self._min_bucket = bucket
+            self._max_bucket = bucket
+            return bucket
+
+        cursor = start if start is not None else self._min_bucket
+        # Back up if the starting point overshoots (only possible when the
+        # caller passes an arbitrary start).
+        while cursor.prev is not None and cursor.count > count:
+            cursor = cursor.prev
+        while cursor.next is not None and cursor.next.count <= count:
+            cursor = cursor.next
+
+        if cursor.count == count:
+            return cursor
+        if cursor.count < count:
+            return self._insert_bucket_after(cursor, count)
+        return self._insert_bucket_before(cursor, count)
+
+    def _insert_bucket_after(self, anchor: _Bucket, count: int) -> _Bucket:
+        bucket = _Bucket(count)
+        bucket.prev = anchor
+        bucket.next = anchor.next
+        if anchor.next is not None:
+            anchor.next.prev = bucket
+        else:
+            self._max_bucket = bucket
+        anchor.next = bucket
+        return bucket
+
+    def _insert_bucket_before(self, anchor: _Bucket, count: int) -> _Bucket:
+        bucket = _Bucket(count)
+        bucket.next = anchor
+        bucket.prev = anchor.prev
+        if anchor.prev is not None:
+            anchor.prev.next = bucket
+        else:
+            self._min_bucket = bucket
+        anchor.prev = bucket
+        return bucket
+
+    def _remove_bucket(self, bucket: _Bucket) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._min_bucket = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+        else:
+            self._max_bucket = bucket.prev
+        bucket.prev = None
+        bucket.next = None

@@ -1,0 +1,32 @@
+"""Workload generators for the paper's three evaluations.
+
+- :mod:`~repro.workloads.synthetic` — the Section 4.2 tunable workload:
+  ``(integer, integer, padding)`` tuples with a *locality* knob and
+  three fields-grouping variants (locality-aware / hash-based /
+  worst-case).
+- :mod:`~repro.workloads.twitter` — a generative stand-in for the
+  crawled Twitter dataset (Section 4.3): Zipfian locations and
+  hashtags, stable and transient correlations, flash events, and new
+  hashtags appearing every week.
+- :mod:`~repro.workloads.flickr` — a stable tag/country workload in
+  place of the Flickr 100M dataset (Section 4.4).
+- :mod:`~repro.workloads.zipf` — the shared skewed sampler.
+
+See DESIGN.md Section 2 for why these substitutions preserve the
+paper's experimental conditions.
+"""
+
+from repro.workloads.flickr import FlickrConfig, FlickrWorkload
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.twitter import TwitterConfig, TwitterWorkload
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "ZipfSampler",
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "TwitterConfig",
+    "TwitterWorkload",
+    "FlickrConfig",
+    "FlickrWorkload",
+]

@@ -1,0 +1,237 @@
+"""The Section 4.2 synthetic workload and its three routing variants.
+
+Tuples are ``(i, j, padding)`` with ``i, j`` in ``0..n-1``. Spout
+instance ``i`` always emits first field ``i``, and second field ``i``
+with probability ``locality`` (uniform over the others otherwise) — so
+that with perfect routing tables, a ``locality`` fraction of the
+A→B stream never leaves the server, and (matching Fig. 7d–f) the
+spout→A hop is always local.
+
+The three fields-grouping variants of the paper:
+
+- **locality-aware** — the tables an analysis of the data would build:
+  first field ``i`` routes to ``A_i``, second field ``j`` to ``B_j``.
+- **hash-based** — a "random but deterministic" key → instance
+  assignment with the properties the paper measures for Storm's
+  default: perfectly balanced load, and co-location probability
+  exactly ``1/n`` per hop *independent of the data's locality*
+  (Fig. 8's flat hash line, and the 16.6% of Fig. 11a at n = 6).
+  A literal random hash over this workload's tiny key space (n keys!)
+  would collide and wreck load balance — something neither Storm's
+  actual integer hashing nor the paper's smooth curves exhibit — so
+  we realize the assignment as two balanced permutations agreeing at
+  exactly one point, which yields the 1/n co-location analytically.
+- **worst-case** — matched tuples ``(i, i, p)`` are *always* routed
+  through the network (to ``B_{(i+1) mod n}``); unmatched tuples fall
+  back to hashing. A lower bound with negative synergy with locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.engine import (
+    CountBolt,
+    CustomGrouping,
+    FieldsGrouping,
+    Padding,
+    TableFieldsGrouping,
+    Topology,
+    TopologyBuilder,
+)
+from repro.engine.grouping import stable_hash
+from repro.engine.operators import IteratorSpout
+from repro.errors import WorkloadError
+from repro.workloads.zipf import derived_rng
+
+#: The three fields-grouping variants evaluated in Section 4.2.
+POLICIES = ("locality-aware", "hash-based", "worst-case")
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic workload."""
+
+    parallelism: int = 2
+    #: Probability that a tuple's two integers are equal (60–100% in
+    #: the paper).
+    locality: float = 0.8
+    #: Extra payload bytes per tuple (0–20 kB in the paper).
+    padding: int = 0
+    seed: int = 0
+    #: Cap on emitted tuples per spout instance; None = unbounded.
+    tuples_per_instance: int = None
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise WorkloadError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if not 0.0 <= self.locality <= 1.0:
+            raise WorkloadError(
+                f"locality must be in [0, 1], got {self.locality}"
+            )
+        if self.padding < 0:
+            raise WorkloadError(f"padding must be >= 0, got {self.padding}")
+
+
+class SyntheticWorkload:
+    """Builds topologies for the Section 4.2 experiments."""
+
+    def __init__(self, config: SyntheticConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Data generation
+    # ------------------------------------------------------------------
+
+    def tuples_for_instance(self, instance: int) -> Iterator[Tuple]:
+        """The tuple stream of spout instance ``instance``."""
+        config = self.config
+        n = config.parallelism
+        rng = derived_rng(config.seed, instance)
+        pad = Padding(config.padding)
+        others = [j for j in range(n) if j != instance]
+        emitted = 0
+        while (
+            config.tuples_per_instance is None
+            or emitted < config.tuples_per_instance
+        ):
+            if n == 1 or rng.random() < config.locality:
+                j = instance
+            else:
+                j = others[rng.randrange(len(others))]
+            yield (instance, j, pad)
+            emitted += 1
+
+    # ------------------------------------------------------------------
+    # Topologies
+    # ------------------------------------------------------------------
+
+    def topology(self, policy: str) -> Topology:
+        """The evaluation application under one routing policy.
+
+        ``S -> A (fields on f0) -> B (fields on f1)``; both POs count
+        occurrences of their field, as in Section 4.1.
+        """
+        if policy not in POLICIES:
+            raise WorkloadError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}"
+            )
+        n = self.config.parallelism
+        builder = TopologyBuilder()
+        builder.spout(
+            "S",
+            lambda: IteratorSpout(
+                lambda ctx: self.tuples_for_instance(ctx.instance_index)
+            ),
+            parallelism=n,
+        )
+        builder.bolt(
+            "A",
+            lambda: CountBolt(0, forward=True),
+            parallelism=n,
+            inputs={"S": self._grouping_sa(policy)},
+        )
+        builder.bolt(
+            "B",
+            lambda: CountBolt(1, forward=False),
+            parallelism=n,
+            inputs={"A": self._grouping_ab(policy)},
+        )
+        return builder.build()
+
+    def online_topology(self) -> Topology:
+        """Same application with swappable (initially empty) routing
+        tables, for manager-driven runs."""
+        n = self.config.parallelism
+        builder = TopologyBuilder()
+        builder.spout(
+            "S",
+            lambda: IteratorSpout(
+                lambda ctx: self.tuples_for_instance(ctx.instance_index)
+            ),
+            parallelism=n,
+        )
+        builder.bolt(
+            "A",
+            lambda: CountBolt(0, forward=True),
+            parallelism=n,
+            inputs={"S": TableFieldsGrouping(0)},
+        )
+        builder.bolt(
+            "B",
+            lambda: CountBolt(1, forward=False),
+            parallelism=n,
+            inputs={"A": TableFieldsGrouping(1)},
+        )
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Grouping variants
+    # ------------------------------------------------------------------
+
+    def _grouping_sa(self, policy: str):
+        if policy == "locality-aware":
+            return CustomGrouping(lambda values, context: values[0])
+
+        def hashed_sa(values, context):
+            # Both hash-based and worst-case misalign the S->A hop:
+            # key i reaches its home server with probability 1/n.
+            pi1 = _one_fixed_point_permutation(len(context.dst_placements))
+            return pi1[values[0]]
+
+        return CustomGrouping(hashed_sa)
+
+    def _grouping_ab(self, policy: str):
+        if policy == "locality-aware":
+            return CustomGrouping(lambda values, context: values[1])
+        if policy == "hash-based":
+
+            def hashed_ab(values, context):
+                # pi2 agrees with pi1 at exactly one key, so the A->B
+                # hop is local with probability exactly 1/n for both
+                # matched and unmatched tuples — flat in the data's
+                # locality, as in Fig. 8.
+                pi2 = _second_permutation(len(context.dst_placements))
+                return pi2[values[1]]
+
+            return CustomGrouping(hashed_ab)
+
+        def worst_case_ab(values, context):
+            # Matched tuples (i, i, p) are always routed through the
+            # network: the tuple sits at A_{pi1[i]}, so aim one server
+            # past it. Unmatched tuples hash.
+            n = len(context.dst_placements)
+            pi1 = _one_fixed_point_permutation(n)
+            if values[0] == values[1]:
+                return (pi1[values[1]] + 1) % n
+            return stable_hash(values[1], context.seed) % n
+
+        return CustomGrouping(worst_case_ab)
+
+
+def _one_fixed_point_permutation(n: int):
+    """A balanced permutation of 0..n-1 with exactly one fixed point
+    (n >= 3); identity for n = 1, the swap for n = 2."""
+    if n == 1:
+        return [0]
+    if n == 2:
+        return [1, 0]
+    perm = [0] * n
+    for j in range(1, n - 1):
+        perm[j] = j + 1
+    perm[n - 1] = 1
+    return perm
+
+
+def _second_permutation(n: int):
+    """A permutation agreeing with the first at exactly one position
+    (n >= 3): composing with another one-fixed-point permutation does
+    it. For n = 2 the group is too small — matched tuples align."""
+    pi1 = _one_fixed_point_permutation(n)
+    sigma = _one_fixed_point_permutation(n)
+    if n == 2:
+        return pi1  # agree everywhere; see module docstring
+    return [pi1[sigma[j]] for j in range(n)]

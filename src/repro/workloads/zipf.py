@@ -1,0 +1,95 @@
+"""Zipfian sampling.
+
+"Many real datasets follow a Zipfian distribution, with few very
+frequent keys, and many rare keys" (Section 3.2). All generators in
+this package draw their key popularity from this sampler.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+
+
+class WeightedSampler:
+    """Samples ranks ``0..n-1`` proportionally to arbitrary weights."""
+
+    def __init__(
+        self,
+        weights: List[float],
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+    ) -> None:
+        if not weights:
+            raise WorkloadError("weights must be non-empty")
+        if any(w < 0 for w in weights):
+            raise WorkloadError("weights must be >= 0")
+        self.n = len(weights)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._cdf: List[float] = list(itertools.accumulate(weights))
+        self._total = self._cdf[-1]
+        if self._total <= 0:
+            raise WorkloadError("total weight must be > 0")
+
+    def sample(self, rng: Optional[random.Random] = None) -> int:
+        r = (rng or self._rng).random() * self._total
+        return bisect.bisect_left(self._cdf, r)
+
+
+def derived_rng(*parts) -> random.Random:
+    """A deterministic RNG derived from any hashable description.
+
+    ``random.Random`` only seeds from scalars, so composite seeds
+    (config seed, purpose, week, ...) are serialized via repr.
+    """
+    return random.Random(repr(parts))
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with probability ∝ ``1 / (rank+1)^s``.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    exponent:
+        Skew ``s``; 0 gives uniform, ~1 matches most social datasets.
+    rng:
+        Source of randomness; a fresh ``random.Random(seed)`` otherwise.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        exponent: float = 1.0,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+    ) -> None:
+        if n < 1:
+            raise WorkloadError(f"population must be >= 1, got {n}")
+        if exponent < 0:
+            raise WorkloadError(f"exponent must be >= 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng if rng is not None else random.Random(seed)
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+        self._cdf: List[float] = list(itertools.accumulate(weights))
+        self._total = self._cdf[-1]
+
+    def sample(self, rng: Optional[random.Random] = None) -> int:
+        """Draw one rank (0 = most popular)."""
+        r = (rng or self._rng).random() * self._total
+        return bisect.bisect_left(self._cdf, r)
+
+    def pmf(self, rank: int) -> float:
+        """Probability of ``rank``."""
+        if not 0 <= rank < self.n:
+            raise WorkloadError(f"rank {rank} outside [0, {self.n})")
+        return (1.0 / (rank + 1) ** self.exponent) / self._total
+
+    def __repr__(self) -> str:
+        return f"ZipfSampler(n={self.n}, exponent={self.exponent})"

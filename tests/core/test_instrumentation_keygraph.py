@@ -1,0 +1,128 @@
+"""Tests for pair tracking and the bipartite key graph."""
+
+import pytest
+
+from repro.core import KeyGraph, PairTracker
+from repro.spacesaving import ExactCounter
+
+
+def test_tracker_counts_pairs_per_edge_pair():
+    tracker = PairTracker("A", capacity=16)
+    tracker.observe("S", "asia", "A->B", "#java")
+    tracker.observe("S", "asia", "A->B", "#java")
+    tracker.observe("S", "asia", "A->B", "#ruby")
+    stats = tracker.collect()
+    assert list(stats) == [("S->A", "A->B")]
+    counts = {e.item: e.count for e in stats[("S->A", "A->B")]}
+    assert counts == {("asia", "#java"): 2, ("asia", "#ruby"): 1}
+    assert tracker.observed == 3
+
+
+def test_tracker_capacity_validation():
+    with pytest.raises(ValueError):
+        PairTracker("A", capacity=0)
+
+
+def test_tracker_collect_and_clear():
+    tracker = PairTracker("A", capacity=16)
+    tracker.observe("S", "k", "A->B", "v")
+    first = tracker.collect_and_clear()
+    assert first[("S->A", "A->B")][0].count == 1
+    assert tracker.observed == 0
+    assert tracker.collect() == {("S->A", "A->B"): []}
+
+
+def test_tracker_bounded_memory():
+    tracker = PairTracker("A", capacity=4)
+    for i in range(100):
+        tracker.observe("S", i, "A->B", i)
+    stats = tracker.collect()
+    assert len(stats[("S->A", "A->B")]) <= 4
+
+
+def test_tracker_with_exact_counter():
+    tracker = PairTracker("A", capacity=4, sketch_factory=ExactCounter)
+    for i in range(100):
+        tracker.observe("S", i, "A->B", i)
+    stats = tracker.collect()
+    assert len(stats[("S->A", "A->B")]) == 100
+
+
+def test_keygraph_accumulates_and_weights_match_figure5():
+    graph = KeyGraph()
+    graph.add_pair("S->A", "Asia", "A->B", "#java", 3463)
+    graph.add_pair("S->A", "Asia", "A->B", "#ruby", 3011)
+    graph.add_pair("S->A", "Asia", "A->B", "#python", 969)
+    graph.add_pair("S->A", "Oceania", "A->B", "#java", 1201)
+    graph.add_pair("S->A", "Oceania", "A->B", "#ruby", 881)
+    graph.add_pair("S->A", "Oceania", "A->B", "#python", 3108)
+    # Vertex weights equal the sums shown in Figure 5.
+    assert graph.vertex_weight("S->A", "Asia") == 7443
+    assert graph.vertex_weight("S->A", "Oceania") == 5190
+    assert graph.vertex_weight("A->B", "#java") == 4664
+    assert graph.vertex_weight("A->B", "#ruby") == 3892
+    assert graph.vertex_weight("A->B", "#python") == 4077
+    assert graph.num_vertices == 5  # 2 locations + 3 hashtags
+    assert graph.num_edges == 6
+    assert graph.pair_weight("S->A", "Asia", "A->B", "#java") == 3463
+
+
+def test_keygraph_same_key_different_streams_are_distinct():
+    graph = KeyGraph()
+    graph.add_pair("S->A", "x", "A->B", "x", 5)
+    assert graph.num_vertices == 2
+    assert graph.vertex_weight("S->A", "x") == 5
+    assert graph.vertex_weight("A->B", "x") == 5
+
+
+def test_keygraph_rejects_nonpositive_count():
+    graph = KeyGraph()
+    with pytest.raises(ValueError):
+        graph.add_pair("a", 1, "b", 2, 0)
+
+
+def test_keygraph_from_stats_accepts_estimates_and_tuples():
+    tracker = PairTracker("A", capacity=8)
+    tracker.observe("S", "k1", "A->B", "v1")
+    tracker.observe("S", "k1", "A->B", "v1")
+    graph = KeyGraph.from_stats(tracker.collect())
+    assert graph.pair_weight("S->A", "k1", "A->B", "v1") == 2
+
+    graph2 = KeyGraph.from_stats(
+        {("S->A", "A->B"): [(("k1", "v1"), 3), (("k2", "v2"), 1)]}
+    )
+    assert graph2.pair_weight("S->A", "k1", "A->B", "v1") == 3
+    assert graph2.num_edges == 2
+
+
+def test_keygraph_top_edges():
+    graph = KeyGraph()
+    for i, weight in enumerate([10, 50, 30, 20]):
+        graph.add_pair("in", f"k{i}", "out", f"v{i}", weight)
+    truncated = graph.top_edges(2)
+    assert truncated.num_edges == 2
+    assert truncated.pair_weight("in", "k1", "out", "v1") == 50
+    assert truncated.pair_weight("in", "k2", "out", "v2") == 30
+    assert truncated.pair_weight("in", "k0", "out", "v0") == 0
+    with pytest.raises(ValueError):
+        graph.top_edges(-1)
+
+
+def test_keygraph_to_partition_graph_roundtrip():
+    graph = KeyGraph()
+    graph.add_pair("in", "a", "out", "b", 7)
+    graph.add_pair("in", "a", "out", "c", 3)
+    pgraph, vertices = graph.to_partition_graph()
+    assert pgraph.num_vertices == 3
+    assert pgraph.num_edges == 2
+    index = {vertex: i for i, vertex in enumerate(vertices)}
+    assert pgraph.vertex_weight(index[("in", "a")]) == 10
+    assert (
+        pgraph.edge_weight(index[("in", "a")], index[("out", "b")]) == 7
+    )
+
+
+def test_keygraph_streams_listing():
+    graph = KeyGraph()
+    graph.add_pair("S->A", 1, "A->B", 2, 1)
+    assert graph.streams() == ["A->B", "S->A"]

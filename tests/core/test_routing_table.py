@@ -1,0 +1,56 @@
+"""Tests for routing tables and their diffing."""
+
+from repro.core import RoutingTable
+
+
+def test_empty_table():
+    table = RoutingTable.empty()
+    assert len(table) == 0
+    assert table.lookup("x") is None
+    assert "x" not in table
+
+
+def test_lookup_and_contains():
+    table = RoutingTable({"asia": 2, "europe": 0})
+    assert table.lookup("asia") == 2
+    assert table.lookup("europe") == 0
+    assert table.lookup("africa") is None
+    assert "asia" in table
+    assert len(table) == 2
+    assert dict(table.items()) == {"asia": 2, "europe": 0}
+    assert set(table.keys()) == {"asia", "europe"}
+
+
+def test_as_dict_is_a_copy():
+    table = RoutingTable({"a": 1})
+    snapshot = table.as_dict()
+    snapshot["a"] = 9
+    assert table.lookup("a") == 1
+
+
+def test_equality():
+    assert RoutingTable({"a": 1}) == RoutingTable({"a": 1})
+    assert RoutingTable({"a": 1}) != RoutingTable({"a": 2})
+    assert RoutingTable() == RoutingTable.empty()
+
+
+def test_moved_keys_between_tables():
+    old = RoutingTable({"a": 0, "b": 1, "c": 2})
+    new = RoutingTable({"a": 0, "b": 2, "d": 1})
+    fallback = lambda key: 0  # noqa: E731
+    moved = old.moved_keys(new, fallback)
+    # "a" stays; "b" moves 1->2; "c" leaves the table (falls back to 0);
+    # "d" enters the table (was at fallback 0, now 1).
+    assert moved == {"b": (1, 2), "c": (2, 0), "d": (0, 1)}
+
+
+def test_moved_keys_respects_fallback_identity():
+    """A key entering the table at its own hash owner does not move."""
+    old = RoutingTable()
+    new = RoutingTable({"k": 3})
+    moved = old.moved_keys(new, lambda key: 3)
+    assert moved == {}
+
+
+def test_moved_keys_empty_tables():
+    assert RoutingTable().moved_keys(RoutingTable(), lambda k: 0) == {}

@@ -1,0 +1,104 @@
+"""Tests for the deployment invariant checker."""
+
+import random
+
+import pytest
+
+from repro.core import Manager, ManagerConfig
+from repro.core.validation import check_deployment
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.operators import IteratorSpout
+
+
+def _deployment(n=2, per_spout=5000):
+    def source(ctx):
+        rng = random.Random(ctx.instance_index)
+        for _ in range(per_spout):
+            key = rng.randrange(10)
+            yield (key, key + 100)
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=n)
+    builder.bolt(
+        "A", lambda: CountBolt(0, forward=True), parallelism=n,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B", lambda: CountBolt(1, forward=False), parallelism=n,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    sim = Simulator()
+    return sim, deploy(sim, Cluster(sim, n), builder.build())
+
+
+def test_clean_drained_run_is_valid():
+    sim, deployment = _deployment()
+    deployment.start()
+    sim.run()
+    report = check_deployment(deployment)
+    assert report.ok
+    report.raise_if_failed()  # no-op when healthy
+    assert "ok" in repr(report)
+
+
+def test_valid_after_reconfigurations():
+    sim, deployment = _deployment(per_spout=20000)
+    manager = Manager(deployment, ManagerConfig(period_s=0.05))
+    manager.start()
+    deployment.start()
+    sim.run(until=0.3)
+    manager.stop()
+    sim.run()
+    check_deployment(deployment).raise_if_failed()
+
+
+def test_detects_duplicated_key_state():
+    sim, deployment = _deployment()
+    deployment.start()
+    sim.run()
+    # Corrupt: copy a key's state onto a second instance.
+    first, second = deployment.instances("B")
+    key = next(iter(first.operator.state))
+    second.operator.state[key] = 1
+    report = check_deployment(deployment)
+    assert not report.ok
+    assert any("on instances" in v for v in report.violations)
+    with pytest.raises(AssertionError):
+        report.raise_if_failed()
+
+
+def test_detects_held_keys():
+    sim, deployment = _deployment()
+    deployment.start()
+    sim.run()
+    deployment.executor("A", 0).hold_keys(["stuck"])
+    report = check_deployment(deployment)
+    assert any("holding keys" in v for v in report.violations)
+
+
+def test_detects_in_flight_tuples():
+    sim, deployment = _deployment()
+    deployment.start()
+    sim.run(until=0.001)  # stop mid-stream
+    report = check_deployment(deployment)
+    assert any("in flight" in v for v in report.violations)
+
+
+def test_detects_out_of_range_table_entry():
+    from repro.core import RoutingTable
+
+    sim, deployment = _deployment()
+    deployment.start()
+    sim.run()
+    deployment.executor("A", 0).table_router("A->B").update_table(
+        RoutingTable({"bad": 99})
+    )
+    report = check_deployment(deployment)
+    assert any("out of range" in v for v in report.violations)

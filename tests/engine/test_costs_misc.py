@@ -1,0 +1,77 @@
+"""Tests for the cost model and small engine utilities."""
+
+import pytest
+
+from repro.engine import DEFAULT_COSTS, CostModel
+from repro.engine.cluster import GIGABIT
+
+
+def test_default_costs_sanity():
+    costs = DEFAULT_COSTS
+    # Calibration: one bolt stage sustains ~111 Ktuples/s per server.
+    assert 1.0 / costs.bolt_service_s == pytest.approx(111_111, rel=0.01)
+    assert costs.spout_service_s < costs.bolt_service_s
+    assert costs.tuple_header_bytes > 0
+
+
+def test_ser_deser_costs_scale_with_size():
+    costs = DEFAULT_COSTS
+    small = costs.ser_cost(100)
+    large = costs.ser_cost(20000)
+    assert large > small
+    assert large - small == pytest.approx(19900 * costs.ser_per_byte_s)
+    assert costs.deser_cost(0) == costs.deser_fixed_s
+
+
+def test_with_overrides_returns_new_model():
+    costs = DEFAULT_COSTS
+    tweaked = costs.with_overrides(bolt_service_s=1e-6)
+    assert tweaked.bolt_service_s == 1e-6
+    assert costs.bolt_service_s == 9e-6  # original untouched
+    assert isinstance(tweaked, CostModel)
+    assert tweaked.ser_fixed_s == costs.ser_fixed_s
+
+
+def test_gigabit_constant():
+    assert GIGABIT == 1e9 / 8
+
+
+def test_cost_model_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_COSTS.bolt_service_s = 1.0  # type: ignore[misc]
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    subclasses = [
+        errors.TopologyError,
+        errors.DeploymentError,
+        errors.SimulationError,
+        errors.PartitioningError,
+        errors.RoutingError,
+        errors.ReconfigurationError,
+        errors.WorkloadError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise cls("boom")
+
+
+def test_public_api_imports():
+    """Everything advertised in __all__ resolves."""
+    import repro
+    import repro.analysis as analysis
+    import repro.core as core
+    import repro.engine as engine
+    import repro.partitioning as partitioning
+    import repro.spacesaving as spacesaving
+    import repro.workloads as workloads
+
+    for module in (
+        repro, analysis, core, engine, partitioning, spacesaving, workloads
+    ):
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, (module, name)
+    assert repro.__version__

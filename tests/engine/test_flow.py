@@ -1,0 +1,99 @@
+"""The flow model must agree with the discrete-event simulation."""
+
+import pytest
+
+from repro.engine import RunConfig, run
+from repro.engine.flow import (
+    FlowStage,
+    predict_throughput,
+    synthetic_stages,
+)
+from repro.workloads import SyntheticConfig, SyntheticWorkload
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        predict_throughput([], 2)
+    with pytest.raises(ValueError):
+        predict_throughput([FlowStage("S", "spout")], 0)
+    with pytest.raises(ValueError):
+        synthetic_stages(2, 0.5, 0, "magic")
+
+
+def test_cpu_bound_chain():
+    stages = [
+        FlowStage("S", "spout", out_bytes=100, remote_out=0.0),
+        FlowStage("A", "bolt", out_bytes=100, remote_in=0.0, remote_out=0.0),
+        FlowStage("B", "bolt", out_bytes=0, remote_in=0.0),
+    ]
+    prediction = predict_throughput(stages, 4, bandwidth_gbps=10.0)
+    # Fully local: the 9 µs bolt service is the bottleneck.
+    assert prediction.bottleneck.startswith("cpu:")
+    assert prediction.throughput == pytest.approx(4 / 9e-6, rel=1e-6)
+
+
+def test_nic_bound_chain():
+    stages = [
+        FlowStage("S", "spout", out_bytes=20000, remote_out=1.0),
+        FlowStage(
+            "A", "bolt", out_bytes=20000, remote_in=1.0, remote_out=1.0
+        ),
+        FlowStage("B", "bolt", out_bytes=0, remote_in=1.0),
+    ]
+    prediction = predict_throughput(stages, 4, bandwidth_gbps=1.0)
+    assert prediction.bottleneck == "nic"
+    # 40 kB remote per tuple at 125 MB/s per NIC direction.
+    assert prediction.throughput == pytest.approx(
+        4 * 1e9 / 8 / 40000, rel=1e-6
+    )
+
+
+def test_infinite_bandwidth_skips_nic():
+    stages = [FlowStage("S", "spout", out_bytes=1000, remote_out=1.0)]
+    prediction = predict_throughput(stages, 2, bandwidth_gbps=None)
+    assert all(name.startswith("cpu") for name, _ in prediction.capacities)
+
+
+@pytest.mark.parametrize(
+    "parallelism,locality,padding,policy",
+    [
+        (1, 1.0, 0, "locality-aware"),
+        (4, 1.0, 0, "locality-aware"),
+        (4, 1.0, 20000, "locality-aware"),
+        (4, 0.6, 20000, "locality-aware"),
+        (4, 0.6, 0, "hash-based"),
+        (4, 0.6, 20000, "hash-based"),
+        (6, 0.8, 8000, "hash-based"),
+        (4, 0.8, 8000, "worst-case"),
+    ],
+)
+def test_flow_model_matches_des(parallelism, locality, padding, policy):
+    """Closed form vs simulation.
+
+    locality-aware traffic is homogeneous across instances, so the
+    symmetric model is tight (8%). The hash/worst permutations make
+    per-instance service times heterogeneous (the permutation's fixed
+    point pays no deserialization), and the sum of per-instance rates
+    exceeds n / mean-service — the DES legitimately runs a bit faster
+    than the symmetric closed form, so those get a looser band.
+    """
+    prediction = predict_throughput(
+        synthetic_stages(parallelism, locality, padding, policy),
+        parallelism,
+        bandwidth_gbps=10.0,
+    )
+    workload = SyntheticWorkload(
+        SyntheticConfig(
+            parallelism=parallelism, locality=locality, padding=padding
+        )
+    )
+    result = run(
+        workload.topology(policy),
+        RunConfig(
+            duration_s=0.25, warmup_s=0.1, num_servers=parallelism
+        ),
+    )
+    tolerance = 0.08 if policy == "locality-aware" else 0.25
+    assert result.throughput == pytest.approx(
+        prediction.throughput, rel=tolerance
+    )

@@ -1,0 +1,86 @@
+"""Property-based tests of the network model's ordering guarantees.
+
+The reconfiguration protocol's barrier correctness rests on per-pair
+FIFO delivery; these properties pin it down under arbitrary traffic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Cluster, Simulator
+
+transfers = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # src server
+        st.integers(min_value=0, max_value=2),   # dst server
+        st.integers(min_value=1, max_value=5000),  # bytes
+        st.floats(min_value=0.0, max_value=0.01),  # send delay
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run(batch, bandwidth_gbps):
+    sim = Simulator()
+    cluster = Cluster(sim, 3, bandwidth_gbps=bandwidth_gbps)
+    deliveries = []
+    for index, (src, dst, nbytes, delay) in enumerate(batch):
+        if src == dst:
+            continue
+
+        def send(src=src, dst=dst, nbytes=nbytes, index=index):
+            cluster.transfer(
+                cluster.server(src),
+                cluster.server(dst),
+                nbytes,
+                lambda: deliveries.append((src, dst, index, sim.now)),
+            )
+
+        sim.schedule(delay, send)
+    sim.run()
+    return cluster, deliveries
+
+
+@given(batch=transfers, bandwidth=st.sampled_from([0.001, 1.0, None]))
+@settings(max_examples=80, deadline=None)
+def test_every_transfer_is_delivered_exactly_once(batch, bandwidth):
+    cluster, deliveries = _run(batch, bandwidth)
+    expected = sum(1 for s, d, _, _ in batch if s != d)
+    assert len(deliveries) == expected
+    assert cluster.network.messages_sent == expected
+
+
+@given(batch=transfers, bandwidth=st.sampled_from([0.001, 1.0]))
+@settings(max_examples=80, deadline=None)
+def test_per_pair_fifo_delivery(batch, bandwidth):
+    """Between any (src, dst) pair, deliveries follow *send order*
+    (send time, ties broken by scheduling order)."""
+    _, deliveries = _run(batch, bandwidth)
+    expected = {}
+    for index, (src, dst, _, delay) in enumerate(batch):
+        if src != dst:
+            expected.setdefault((src, dst), []).append((delay, index))
+    for pair in expected:
+        expected[pair] = [i for _, i in sorted(expected[pair])]
+    observed = {}
+    for src, dst, index, _ in deliveries:
+        observed.setdefault((src, dst), []).append(index)
+    assert observed == expected
+
+
+@given(batch=transfers)
+@settings(max_examples=50, deadline=None)
+def test_delivery_times_never_beat_latency(batch):
+    sim_latency = 50e-6
+    _, deliveries = _run(batch, bandwidth_gbps=None)
+    for _, _, _, at in deliveries:
+        assert at >= sim_latency
+
+
+@given(batch=transfers)
+@settings(max_examples=50, deadline=None)
+def test_byte_accounting(batch):
+    cluster, _ = _run(batch, bandwidth_gbps=1.0)
+    expected_bytes = sum(n for s, d, n, _ in batch if s != d)
+    assert cluster.network.bytes_sent == expected_bytes

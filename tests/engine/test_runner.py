@@ -1,0 +1,262 @@
+"""Integration tests: deploy and run full topologies."""
+
+import pytest
+
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    CustomGrouping,
+    FieldsGrouping,
+    LocalOrShuffleGrouping,
+    RunConfig,
+    ShuffleGrouping,
+    Simulator,
+    TopologyBuilder,
+    deploy,
+    run,
+)
+from repro.engine.operators import IteratorSpout, PassThroughBolt
+from repro.errors import DeploymentError
+
+
+def _counting_topology(n, keys=16, tuples_per_instance=None):
+    """S -> A (fields on f0) -> B (fields on f1)."""
+
+    def source(ctx):
+        import random
+
+        rng = random.Random(100 + ctx.instance_index)
+        count = 0
+        while tuples_per_instance is None or count < tuples_per_instance:
+            yield (rng.randrange(keys), rng.randrange(keys))
+            count += 1
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=n)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=n,
+        inputs={"S": FieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=n,
+        inputs={"A": FieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+def test_run_measures_throughput():
+    result = run(
+        _counting_topology(1),
+        RunConfig(duration_s=0.2, warmup_s=0.05, num_servers=1),
+    )
+    # Single server: CPU-bound at 1/bolt_service = ~111 Ktuples/s.
+    assert result.throughput == pytest.approx(111_000, rel=0.05)
+    assert result.locality == 1.0
+    assert result.measured_s == pytest.approx(0.15)
+
+
+def test_finite_source_processes_everything_exactly_once():
+    per_instance = 500
+    topology = _counting_topology(2, tuples_per_instance=per_instance)
+    sim = Simulator()
+    cluster = Cluster(sim, 2)
+    deployment = deploy(sim, cluster, topology)
+    deployment.start()
+    sim.run()
+    metrics = deployment.metrics
+    total = 2 * per_instance
+    assert metrics.processed_total("A") == total
+    assert metrics.processed_total("B") == total
+    # Conservation: every spout tuple was acked.
+    assert deployment.acker.in_flight == 0
+    assert deployment.acker.completed == total
+    # Ground truth: counts across B instances sum to the tuple count.
+    b_total = sum(
+        sum(e.operator.state.values()) for e in deployment.instances("B")
+    )
+    assert b_total == total
+
+
+def test_fields_grouping_consistency():
+    """All tuples with one key land on a single instance."""
+    topology = _counting_topology(3, keys=30, tuples_per_instance=400)
+    sim = Simulator()
+    cluster = Cluster(sim, 3)
+    deployment = deploy(sim, cluster, topology)
+    deployment.start()
+    sim.run()
+    seen = {}
+    for executor in deployment.instances("B"):
+        for key in executor.operator.state:
+            assert key not in seen, f"key {key} split across instances"
+            seen[key] = executor.instance
+
+
+def test_hash_locality_is_one_over_n():
+    result = run(
+        _counting_topology(4, keys=1000),
+        RunConfig(duration_s=0.25, warmup_s=0.05, num_servers=4),
+    )
+    assert result.stream_locality["A->B"] == pytest.approx(0.25, abs=0.06)
+
+
+def test_local_or_shuffle_is_fully_local():
+    def source(ctx):
+        while True:
+            yield ("x",)
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=3)
+    builder.bolt(
+        "A",
+        PassThroughBolt,
+        parallelism=3,
+        inputs={"S": LocalOrShuffleGrouping()},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(0, forward=False),
+        parallelism=3,
+        inputs={"A": LocalOrShuffleGrouping()},
+    )
+    result = run(
+        builder.build(),
+        RunConfig(duration_s=0.1, warmup_s=0.02, num_servers=3),
+    )
+    assert result.locality == 1.0
+
+
+def test_shuffle_spreads_evenly():
+    def source(ctx):
+        while True:
+            yield ("x",)
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=2)
+    builder.bolt(
+        "B",
+        lambda: CountBolt(0, forward=False),
+        parallelism=4,
+        inputs={"S": ShuffleGrouping()},
+    )
+    result = run(
+        builder.build(),
+        RunConfig(duration_s=0.1, warmup_s=0.02, num_servers=4),
+    )
+    assert result.load_balance["B"] == pytest.approx(1.0, abs=0.02)
+
+
+def test_worst_case_routing_hurts_throughput():
+    """CustomGrouping sending everything off-server is slower than
+    perfect locality (the Section 4.2 worst-case policy)."""
+
+    def source(ctx):
+        i = ctx.instance_index
+        while True:
+            yield (i, i)
+
+    def build(route_fn):
+        builder = TopologyBuilder()
+        builder.spout("S", lambda: IteratorSpout(source), parallelism=3)
+        builder.bolt(
+            "A",
+            lambda: CountBolt(0, forward=True),
+            parallelism=3,
+            inputs={"S": CustomGrouping(lambda v, c: v[0])},
+        )
+        builder.bolt(
+            "B",
+            lambda: CountBolt(1, forward=False),
+            parallelism=3,
+            inputs={"A": CustomGrouping(route_fn)},
+        )
+        return builder.build()
+
+    config = RunConfig(duration_s=0.15, warmup_s=0.05, num_servers=3)
+    local = run(build(lambda v, c: v[1]), config)
+    worst = run(
+        build(lambda v, c: (v[1] + 1) % len(c.dst_placements)), config
+    )
+    assert local.locality == 1.0
+    assert worst.stream_locality["A->B"] == 0.0
+    assert worst.throughput < local.throughput
+
+
+def test_bad_placement_rejected():
+    sim = Simulator()
+    cluster = Cluster(sim, 2)
+    topology = _counting_topology(2)
+    with pytest.raises(DeploymentError):
+        deploy(sim, cluster, topology, placement=lambda op, i, p: 5)
+
+
+def test_spout_factory_type_checked():
+    builder = TopologyBuilder()
+    builder.spout("S", PassThroughBolt)  # wrong type on purpose
+    builder.bolt(
+        "B",
+        lambda: CountBolt(0, forward=False),
+        inputs={"S": FieldsGrouping(0)},
+    )
+    sim = Simulator()
+    cluster = Cluster(sim, 1)
+    with pytest.raises(DeploymentError):
+        deploy(sim, cluster, builder.build())
+
+
+def test_duration_must_exceed_warmup():
+    with pytest.raises(DeploymentError):
+        run(_counting_topology(1), RunConfig(duration_s=1.0, warmup_s=1.0))
+
+
+def test_sampler_produces_series():
+    result = run(
+        _counting_topology(1),
+        RunConfig(
+            duration_s=0.2,
+            warmup_s=0.05,
+            num_servers=1,
+            sample_interval_s=0.05,
+        ),
+    )
+    assert len(result.samples) >= 3
+    times = [t for t, _ in result.samples]
+    assert times == sorted(times)
+    # Steady state: later samples near the measured throughput.
+    assert result.samples[-1][1] == pytest.approx(
+        result.throughput, rel=0.15
+    )
+
+
+def test_bandwidth_throttling_reduces_throughput():
+    fast = run(
+        _counting_topology(3, keys=500),
+        RunConfig(
+            duration_s=0.15, warmup_s=0.05, num_servers=3,
+            bandwidth_gbps=10.0,
+        ),
+    )
+    slow = run(
+        _counting_topology(3, keys=500),
+        RunConfig(
+            duration_s=0.15, warmup_s=0.05, num_servers=3,
+            bandwidth_gbps=0.05,
+        ),
+    )
+    assert slow.throughput < fast.throughput
+
+
+def test_max_pending_limits_in_flight():
+    topology = _counting_topology(1)
+    sim = Simulator()
+    cluster = Cluster(sim, 1)
+    deployment = deploy(sim, cluster, topology, max_pending=8)
+    deployment.start()
+    sim.run(until=0.05)
+    assert deployment.acker.in_flight <= 8
+    for spout in deployment.spout_executors():
+        assert spout.pending <= 8

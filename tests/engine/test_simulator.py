@@ -1,0 +1,111 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Simulator
+from repro.errors import SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_cancel():
+    sim = Simulator()
+    ran = []
+    event = sim.schedule(1.0, ran.append, "x")
+    event.cancel()
+    sim.schedule(2.0, ran.append, "y")
+    sim.run()
+    assert ran == ["y"]
+
+
+def test_run_until_advances_clock_exactly():
+    sim = Simulator()
+    ran = []
+    sim.schedule(1.0, ran.append, 1)
+    sim.schedule(5.0, ran.append, 5)
+    executed = sim.run(until=3.0)
+    assert executed == 1
+    assert ran == [1]
+    assert sim.now == 3.0
+    sim.run()
+    assert ran == [1, 5]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.pending_events == 6
+
+
+def test_step():
+    sim = Simulator()
+    ran = []
+    sim.schedule(1.0, ran.append, 1)
+    assert sim.step() is True
+    assert ran == [1]
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    ran = []
+
+    def chain(depth):
+        ran.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert ran == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_clock_is_monotone(delays):
+    sim = Simulator()
+    times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)

@@ -1,0 +1,243 @@
+"""Tests for windowed operators and end-to-end latency tracking."""
+
+import pytest
+
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    FieldsGrouping,
+    RunConfig,
+    Simulator,
+    TopologyBuilder,
+    deploy,
+    run,
+)
+from repro.engine.metrics import LatencyStats
+from repro.engine.operators import IteratorSpout, OperatorContext
+from repro.engine.tuples import make_tuple
+from repro.engine.windowing import TopKBolt, TumblingWindowCountBolt
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _context(clock):
+    return OperatorContext("op", 0, 1, 0, clock)
+
+
+class TestTumblingWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TumblingWindowCountBolt(window_s=0.0)
+
+    def test_counts_within_window(self):
+        clock = _Clock()
+        bolt = TumblingWindowCountBolt(0, window_s=1.0)
+        context = _context(clock)
+        for key in ["a", "b", "a"]:
+            bolt.process(make_tuple((key,), 0), context)
+        assert bolt.state == {"a": 2, "b": 1}
+        assert context._drain() == []  # window still open
+
+    def test_flush_on_window_boundary(self):
+        clock = _Clock()
+        bolt = TumblingWindowCountBolt(0, window_s=1.0)
+        context = _context(clock)
+        bolt.process(make_tuple(("a",), 0), context)
+        bolt.process(make_tuple(("a",), 0), context)
+        clock.now = 1.5  # next window
+        bolt.process(make_tuple(("b",), 0), context)
+        emitted = context._drain()
+        assert (0.0, "a", 2) in emitted
+        assert bolt.state == {"b": 1}
+
+    def test_forwarding(self):
+        clock = _Clock()
+        bolt = TumblingWindowCountBolt(0, window_s=1.0, forward=True)
+        context = _context(clock)
+        bolt.process(make_tuple(("a", 1), 0), context)
+        assert context._drain() == [("a", 1)]
+
+    def test_state_merges_on_migration(self):
+        bolt = TumblingWindowCountBolt(0, window_s=1.0)
+        bolt.state["a"] = 3
+        bolt.install_state({"a": 2, "b": 1})
+        assert bolt.state == {"a": 5, "b": 1}
+
+
+class TestTopK:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKBolt(k=0)
+        with pytest.raises(ValueError):
+            TopKBolt(window_s=0)
+
+    def test_per_group_rankings(self):
+        clock = _Clock()
+        bolt = TopKBolt(group=0, item=1, k=2, window_s=10.0)
+        context = _context(clock)
+        stream = [
+            ("asia", "#java"), ("asia", "#java"), ("asia", "#ruby"),
+            ("oceania", "#python"),
+        ]
+        for values in stream:
+            bolt.process(make_tuple(values, 0), context)
+        assert bolt.top("asia") == [("#java", 2), ("#ruby", 1)]
+        assert bolt.top("oceania") == [("#python", 1)]
+        assert bolt.top("nowhere") == []
+
+    def test_flush_emits_rankings_and_resets(self):
+        clock = _Clock()
+        bolt = TopKBolt(group=0, item=1, k=1, window_s=1.0)
+        context = _context(clock)
+        bolt.process(make_tuple(("asia", "#java"), 0), context)
+        clock.now = 2.0
+        bolt.process(make_tuple(("asia", "#ruby"), 0), context)
+        emitted = context._drain()
+        assert emitted == [(0.0, "asia", (("#java", 1),))]
+        assert bolt.top("asia") == [("#ruby", 1)]
+
+    def test_sketch_state_merges_on_migration(self):
+        bolt = TopKBolt(group=0, item=1, k=2, capacity=16)
+        clock = _Clock()
+        context = _context(clock)
+        bolt.process(make_tuple(("asia", "#java"), 0), context)
+        peer = TopKBolt(group=0, item=1, k=2, capacity=16)
+        peer.process(make_tuple(("asia", "#java"), 0), _context(clock))
+        migrated = peer.extract_state(["asia"])
+        bolt.install_state(migrated)
+        assert bolt.top("asia")[0] == ("#java", 2)
+
+    def test_runs_in_topology(self):
+        def source(ctx):
+            import random
+
+            rng = random.Random(0)
+            regions = ["asia", "europe"]
+            tags = ["#a", "#b", "#c"]
+            while True:
+                yield (rng.choice(regions), rng.choice(tags))
+
+        builder = TopologyBuilder()
+        builder.spout("S", lambda: IteratorSpout(source), parallelism=2)
+        builder.bolt(
+            "trending",
+            lambda: TopKBolt(group=0, item=1, k=2, window_s=0.02),
+            parallelism=2,
+            inputs={"S": FieldsGrouping(0)},
+        )
+        builder.bolt(
+            "sink",
+            lambda: CountBolt(1, forward=False),
+            parallelism=2,
+            inputs={"trending": FieldsGrouping(1)},
+        )
+        result = run(
+            builder.build(),
+            RunConfig(duration_s=0.1, warmup_s=0.02, num_servers=2),
+        )
+        # Rankings flow downstream: one emission per (window, group).
+        assert result.throughput > 0
+
+
+class TestLatency:
+    def test_latency_stats_basics(self):
+        stats = LatencyStats(reservoir_size=100)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            stats.record(value)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.max == 4.0
+        assert stats.percentile(0.5) == 2.0
+        assert stats.percentile(1.0) == 4.0
+        assert stats.percentile(0.0) == 1.0
+
+    def test_latency_stats_validation(self):
+        with pytest.raises(ValueError):
+            LatencyStats(reservoir_size=0)
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(1.5)
+
+    def test_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.percentile(0.9) == 0.0
+
+    def test_reservoir_stays_bounded(self):
+        stats = LatencyStats(reservoir_size=10)
+        for i in range(1000):
+            stats.record(float(i))
+        assert stats.count == 1000
+        assert len(stats._reservoir) == 10
+        # Reservoir values span the stream, not just its head.
+        assert max(stats._reservoir) > 100
+
+    def test_reset(self):
+        stats = LatencyStats()
+        stats.record(1.0)
+        stats.reset()
+        assert stats.count == 0
+        assert stats.max == 0.0
+
+    def test_run_reports_pipeline_latency(self):
+        def source(ctx):
+            while True:
+                yield (0, 0)
+
+        builder = TopologyBuilder()
+        builder.spout("S", lambda: IteratorSpout(source), parallelism=1)
+        builder.bolt(
+            "A", lambda: CountBolt(0, forward=True), parallelism=1,
+            inputs={"S": FieldsGrouping(0)},
+        )
+        builder.bolt(
+            "B", lambda: CountBolt(1, forward=False), parallelism=1,
+            inputs={"A": FieldsGrouping(1)},
+        )
+        result = run(
+            builder.build(),
+            RunConfig(duration_s=0.1, warmup_s=0.02, num_servers=1,
+                      max_pending=4),
+        )
+        # With a tiny pending window there is no queueing: latency is a
+        # few service times, far below a millisecond.
+        assert 0 < result.latency_p50 < 1e-3
+        assert result.latency_p50 <= result.latency_p99 <= result.latency_max
+        assert result.latency_mean > 2 * 9e-6  # at least two bolt services
+
+    def test_remote_hops_increase_latency(self):
+        def source(ctx):
+            i = ctx.instance_index
+            while True:
+                yield (i, i)
+
+        from repro.engine import CustomGrouping
+
+        def build(offset):
+            builder = TopologyBuilder()
+            builder.spout("S", lambda: IteratorSpout(source), parallelism=2)
+            builder.bolt(
+                "A", lambda: CountBolt(0, forward=True), parallelism=2,
+                inputs={"S": CustomGrouping(
+                    lambda v, c: (v[0] + offset) % 2
+                )},
+            )
+            builder.bolt(
+                "B", lambda: CountBolt(1, forward=False), parallelism=2,
+                inputs={"A": CustomGrouping(
+                    lambda v, c: (v[1] + offset) % 2
+                )},
+            )
+            return builder.build()
+
+        config = RunConfig(
+            duration_s=0.1, warmup_s=0.02, num_servers=2, max_pending=4
+        )
+        local = run(build(0), config)
+        remote = run(build(1), config)
+        assert remote.latency_p50 > local.latency_p50

@@ -1,0 +1,107 @@
+"""Unit tests for the partitioner's graph structure."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partitioning import Graph
+
+
+def test_empty_graph():
+    graph = Graph(0)
+    assert graph.num_vertices == 0
+    assert graph.num_edges == 0
+    assert graph.total_vertex_weight == 0.0
+    assert list(graph.edges()) == []
+
+
+def test_negative_vertex_count_rejected():
+    with pytest.raises(PartitioningError):
+        Graph(-1)
+
+
+def test_vertex_weights_default_to_one():
+    graph = Graph(3)
+    assert graph.vertex_weights() == [1.0, 1.0, 1.0]
+    assert graph.total_vertex_weight == 3.0
+
+
+def test_vertex_weights_validation():
+    with pytest.raises(PartitioningError):
+        Graph(2, [1.0])
+    with pytest.raises(PartitioningError):
+        Graph(2, [1.0, -0.5])
+
+
+def test_add_edge_accumulates_parallel_edges():
+    graph = Graph(3)
+    graph.add_edge(0, 1, 2.0)
+    graph.add_edge(1, 0, 3.0)
+    assert graph.edge_weight(0, 1) == 5.0
+    assert graph.edge_weight(1, 0) == 5.0
+    assert graph.num_edges == 1
+    assert graph.total_edge_weight == 5.0
+
+
+def test_self_loop_rejected():
+    graph = Graph(2)
+    with pytest.raises(PartitioningError):
+        graph.add_edge(1, 1)
+
+
+def test_nonpositive_edge_weight_rejected():
+    graph = Graph(2)
+    with pytest.raises(PartitioningError):
+        graph.add_edge(0, 1, 0.0)
+    with pytest.raises(PartitioningError):
+        graph.add_edge(0, 1, -1.0)
+
+
+def test_out_of_range_vertex_rejected():
+    graph = Graph(2)
+    with pytest.raises(PartitioningError):
+        graph.add_edge(0, 2)
+    with pytest.raises(PartitioningError):
+        graph.vertex_weight(5)
+
+
+def test_neighbors_and_degree():
+    graph = Graph.from_edges(4, [(0, 1, 1.0), (0, 2, 2.0)])
+    assert graph.neighbors(0) == {1: 1.0, 2: 2.0}
+    assert graph.degree(0) == 2
+    assert graph.degree(3) == 0
+    assert graph.adjacency_weight(0) == 3.0
+
+
+def test_edges_iterates_each_edge_once():
+    graph = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+    edges = sorted(graph.edges())
+    assert edges == [(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]
+
+
+def test_set_vertex_weight():
+    graph = Graph(2)
+    graph.set_vertex_weight(0, 5.0)
+    assert graph.vertex_weight(0) == 5.0
+    with pytest.raises(PartitioningError):
+        graph.set_vertex_weight(0, -1.0)
+
+
+def test_subgraph_preserves_weights_and_edges():
+    graph = Graph.from_edges(
+        5,
+        [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (0, 4, 5.0)],
+        vertex_weights=[10, 20, 30, 40, 50],
+    )
+    sub, selected = graph.subgraph([1, 2, 4])
+    assert selected == [1, 2, 4]
+    assert sub.num_vertices == 3
+    assert sub.vertex_weights() == [20.0, 30.0, 50.0]
+    # Only the (1,2) edge survives; (0,1), (0,4), (2,3), (3,4) leave.
+    assert sub.num_edges == 1
+    assert sub.edge_weight(0, 1) == 2.0
+
+
+def test_subgraph_duplicate_selection_rejected():
+    graph = Graph(3)
+    with pytest.raises(PartitioningError):
+        graph.subgraph([0, 0])

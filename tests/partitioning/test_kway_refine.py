@@ -1,0 +1,92 @@
+"""Tests for the k-way refinement pass."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.partitioning import Graph, balance, edge_cut, partition
+from repro.partitioning.kway_refine import refine_kway
+
+
+def _clustered_graph(num_clusters, size, rng):
+    n = num_clusters * size
+    edges = []
+    for cluster in range(num_clusters):
+        members = list(range(cluster * size, (cluster + 1) * size))
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                edges.append((u, v, 10.0))
+    for _ in range(num_clusters * 3):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, 1.0))
+    return Graph.from_edges(n, edges)
+
+
+def test_validation():
+    graph = Graph(3)
+    with pytest.raises(PartitioningError):
+        refine_kway(graph, [0, 0], 2)
+    with pytest.raises(PartitioningError):
+        refine_kway(graph, [0, 0, 5], 2)
+
+
+def test_trivial_cases():
+    assert refine_kway(Graph(0), [], 2) == 0
+    graph = Graph(4)
+    parts = [0, 1, 0, 1]
+    assert refine_kway(graph, parts, 1) == 0
+
+
+def test_repairs_perturbed_partition():
+    rng = random.Random(0)
+    graph = _clustered_graph(3, 8, rng)
+    parts = [v // 8 for v in range(24)]
+    optimal_cut = edge_cut(graph, parts)
+    # Swap two vertices across clusters: cut jumps, balance intact.
+    parts[0], parts[8] = parts[8], parts[0]
+    assert edge_cut(graph, parts) > optimal_cut
+    moved = refine_kway(graph, parts, 3)
+    assert moved >= 2
+    assert edge_cut(graph, parts) == optimal_cut
+
+
+def test_never_worsens_cut_or_balance():
+    rng = random.Random(1)
+    graph = _clustered_graph(4, 6, rng)
+    parts = [rng.randrange(4) for _ in range(24)]
+    cut_before = edge_cut(graph, parts)
+    refine_kway(graph, parts, 4, imbalance=1.2)
+    assert edge_cut(graph, parts) <= cut_before
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_refinement_respects_balance_cap(seed):
+    rng = random.Random(seed)
+    n = 24
+    edges = []
+    for _ in range(60):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, float(rng.randint(1, 9))))
+    graph = Graph.from_edges(n, edges)
+    parts = partition(graph, 3, seed=seed, kway_refinement=False)
+    bal_before = balance(graph, parts, 3)
+    refine_kway(graph, parts, 3, imbalance=1.1)
+    bal_after = balance(graph, parts, 3)
+    # Refinement may not push a balanced partition past the cap
+    # (granularity slack: one vertex).
+    cap = max(1.1, bal_before) + 3.0 / (n / 3)
+    assert bal_after <= cap
+
+
+def test_partition_with_refinement_not_worse():
+    rng = random.Random(5)
+    graph = _clustered_graph(4, 10, rng)
+    refined = partition(graph, 4, seed=3, kway_refinement=True)
+    unrefined = partition(graph, 4, seed=3, kway_refinement=False)
+    assert edge_cut(graph, refined) <= edge_cut(graph, unrefined) + 1e-9

@@ -1,0 +1,145 @@
+"""Tests for the individual multilevel phases: matching, coarsening,
+initial bisection, and FM refinement."""
+
+import random
+
+from repro.partitioning import Graph, edge_cut
+from repro.partitioning.coarsen import coarsen, coarsen_until
+from repro.partitioning.initial import greedy_bisection
+from repro.partitioning.matching import heavy_edge_matching, matching_size
+from repro.partitioning.refine import fm_refine
+
+
+def _path_graph(n, weight=1.0):
+    return Graph.from_edges(n, [(i, i + 1, weight) for i in range(n - 1)])
+
+
+def test_matching_is_symmetric_and_total():
+    rng = random.Random(0)
+    graph = _path_graph(10)
+    match = heavy_edge_matching(graph, rng)
+    for v, partner in enumerate(match):
+        assert match[partner] == v
+
+
+def test_matching_prefers_heavy_edges():
+    # Heavy disjoint pairs with light cross links: whichever vertex is
+    # visited first, its heaviest free neighbor is its pair partner, so
+    # the heavy edges are always collapsed.
+    graph = Graph.from_edges(
+        4, [(0, 1, 100.0), (2, 3, 100.0), (1, 2, 1.0), (0, 3, 1.0)]
+    )
+    for seed in range(10):
+        match = heavy_edge_matching(graph, random.Random(seed))
+        assert match[0] == 1 and match[1] == 0
+        assert match[2] == 3 and match[3] == 2
+
+
+def test_matching_on_isolated_vertices():
+    graph = Graph(4)
+    match = heavy_edge_matching(graph, random.Random(1))
+    assert match == [0, 1, 2, 3]
+    assert matching_size(match) == 0
+
+
+def test_coarsen_preserves_total_weights():
+    rng = random.Random(2)
+    graph = Graph.from_edges(
+        6,
+        [(0, 1, 5.0), (2, 3, 5.0), (4, 5, 5.0), (1, 2, 1.0), (3, 4, 1.0)],
+        vertex_weights=[1, 2, 3, 4, 5, 6],
+    )
+    match = heavy_edge_matching(graph, rng)
+    level = coarsen(graph, match)
+    assert level.coarse.total_vertex_weight == graph.total_vertex_weight
+    # Cross edges are preserved or merged, never lost beyond collapsed
+    # pairs.
+    assert level.coarse.num_vertices < graph.num_vertices
+
+
+def test_coarsen_projection_roundtrip():
+    rng = random.Random(3)
+    graph = _path_graph(8)
+    match = heavy_edge_matching(graph, rng)
+    level = coarsen(graph, match)
+    coarse_parts = [i % 2 for i in range(level.coarse.num_vertices)]
+    fine_parts = level.project(coarse_parts)
+    for v in range(graph.num_vertices):
+        assert fine_parts[v] == coarse_parts[level.fine_to_coarse[v]]
+
+
+def test_coarsen_until_reaches_threshold():
+    rng = random.Random(4)
+    graph = _path_graph(128)
+    coarsest, levels = coarsen_until(graph, rng, min_vertices=10)
+    assert coarsest.num_vertices <= max(10, graph.num_vertices)
+    assert coarsest.total_vertex_weight == graph.total_vertex_weight
+    assert len(levels) >= 1
+
+
+def test_greedy_bisection_respects_target_roughly():
+    rng = random.Random(5)
+    graph = _path_graph(20)
+    target0 = 10.0
+    parts = greedy_bisection(graph, target0, (11.0, 11.0), rng)
+    weight0 = sum(1 for p in parts if p == 0)
+    assert 8 <= weight0 <= 12
+    # A path bisection should cut very few edges.
+    assert edge_cut(graph, parts) <= 3.0
+
+
+def test_greedy_bisection_handles_disconnected_graph():
+    rng = random.Random(6)
+    graph = Graph.from_edges(6, [(0, 1, 1.0), (2, 3, 1.0)])  # 4, 5 isolated
+    parts = greedy_bisection(graph, 3.0, (3.5, 3.5), rng)
+    assert set(parts) <= {0, 1}
+    assert sum(1 for p in parts if p == 0) >= 2
+
+
+def test_greedy_bisection_trivial_sizes():
+    rng = random.Random(7)
+    assert greedy_bisection(Graph(0), 0.0, (1.0, 1.0), rng) == []
+    assert greedy_bisection(Graph(1), 1.0, (1.0, 1.0), rng) == [0]
+
+
+def test_fm_refine_improves_bad_bisection():
+    # Two cliques joined by a single light edge; start from the worst
+    # split (interleaved) and check FM finds the natural one.
+    edges = []
+    for group in (range(0, 4), range(4, 8)):
+        group = list(group)
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                edges.append((u, v, 10.0))
+    edges.append((0, 4, 1.0))
+    graph = Graph.from_edges(8, edges)
+    parts = [v % 2 for v in range(8)]
+    before = edge_cut(graph, parts)
+    after = fm_refine(graph, parts, (4.12, 4.12))
+    assert after < before
+    assert after == edge_cut(graph, parts)
+    assert after == 1.0
+    # Balance respected: 4 vertices per side.
+    assert sum(1 for p in parts if p == 0) == 4
+
+
+def test_fm_refine_respects_balance_caps():
+    graph = Graph.from_edges(4, [(0, 1, 100.0), (2, 3, 100.0), (1, 2, 1.0)])
+    parts = [0, 0, 1, 1]
+    # Moving anything would break the 2.2-weight cap, so the (already
+    # optimal) split must stay put.
+    cut = fm_refine(graph, parts, (2.2, 2.2))
+    assert cut == 1.0
+    assert parts == [0, 0, 1, 1]
+
+
+def test_fm_refine_empty_graph():
+    assert fm_refine(Graph(0), [], (1.0, 1.0)) == 0.0
+
+
+def test_fm_refine_reduces_violation_when_start_unbalanced():
+    graph = _path_graph(10)
+    parts = [0] * 10  # everything on one side
+    fm_refine(graph, parts, (5.5, 5.5))
+    weight0 = sum(1 for p in parts if p == 0)
+    assert 4 <= weight0 <= 6

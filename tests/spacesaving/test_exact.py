@@ -1,0 +1,89 @@
+"""Tests for the exact counter (offline statistics baseline)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spacesaving import ExactCounter, SpaceSaving
+
+
+def test_basic_counting():
+    counter = ExactCounter()
+    for item in ["a", "b", "a"]:
+        counter.offer(item)
+    assert counter.estimate("a").count == 2
+    assert counter.estimate("a").error == 0
+    assert counter.estimate("b").count == 1
+    assert counter.estimate("missing") is None
+    assert counter.n == 3
+    assert len(counter) == 2
+    assert counter.max_error() == 0
+
+
+def test_weight_validation():
+    counter = ExactCounter()
+    with pytest.raises(ValueError):
+        counter.offer("a", weight=0)
+
+
+def test_top_and_guaranteed_top_agree():
+    counter = ExactCounter()
+    for item, weight in [("x", 3), ("y", 7), ("z", 1)]:
+        counter.offer(item, weight=weight)
+    assert [e.item for e in counter.top(2)] == ["y", "x"]
+    assert counter.guaranteed_top(2) == counter.top(2)
+
+
+def test_merge():
+    left, right = ExactCounter(), ExactCounter()
+    left.offer("a", weight=2)
+    right.offer("a", weight=3)
+    right.offer("b")
+    merged = left.merge(right)
+    assert merged.estimate("a").count == 5
+    assert merged.estimate("b").count == 1
+    assert merged.n == 6
+
+
+def test_clear():
+    counter = ExactCounter()
+    counter.offer("a")
+    counter.clear()
+    assert counter.n == 0
+    assert len(counter) == 0
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=20), max_size=200)
+)
+@settings(max_examples=100, deadline=None)
+def test_exact_matches_counter(stream):
+    counter = ExactCounter()
+    for item in stream:
+        counter.offer(item)
+    truth = Counter(stream)
+    for estimate in counter.items():
+        assert estimate.count == truth[estimate.item]
+        assert estimate.error == 0
+
+
+@given(
+    stream=st.lists(
+        st.integers(min_value=0, max_value=10), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_exact_dominates_sketch_interface(stream):
+    """Exact and sketch agree on ordering of genuinely separated items."""
+    counter = ExactCounter()
+    sketch = SpaceSaving(capacity=64)
+    for item in stream:
+        counter.offer(item)
+        sketch.offer(item)
+    # Capacity 64 > 11 distinct values, so the sketch is exact too.
+    exact_top = [(e.item, e.count) for e in counter.items()]
+    sketch_counts = {e.item: e.count for e in sketch.items()}
+    for item, count in exact_top:
+        assert sketch_counts[item] == count

@@ -1,0 +1,141 @@
+"""Unit tests for the Stream-Summary bucket structure."""
+
+import pytest
+
+from repro.spacesaving.summary import StreamSummary
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        StreamSummary(0)
+    with pytest.raises(ValueError):
+        StreamSummary(-3)
+
+
+def test_empty_summary():
+    summary = StreamSummary(4)
+    assert len(summary) == 0
+    assert not summary.full
+    assert summary.min_count() == 0
+    assert "x" not in summary
+    with pytest.raises(KeyError):
+        summary.min_item()
+    with pytest.raises(KeyError):
+        summary.evict_min()
+
+
+def test_insert_and_count():
+    summary = StreamSummary(4)
+    summary.insert("a", count=3, error=1)
+    assert "a" in summary
+    assert summary.count_of("a") == (3, 1)
+    assert len(summary) == 1
+
+
+def test_insert_duplicate_raises():
+    summary = StreamSummary(4)
+    summary.insert("a", count=1, error=0)
+    with pytest.raises(ValueError):
+        summary.insert("a", count=2, error=0)
+
+
+def test_insert_when_full_raises():
+    summary = StreamSummary(1)
+    summary.insert("a", count=1, error=0)
+    with pytest.raises(ValueError):
+        summary.insert("b", count=1, error=0)
+
+
+def test_count_of_unknown_item_raises():
+    summary = StreamSummary(2)
+    with pytest.raises(KeyError):
+        summary.count_of("missing")
+
+
+def test_increment_moves_between_buckets():
+    summary = StreamSummary(4)
+    summary.insert("a", count=1, error=0)
+    summary.insert("b", count=1, error=0)
+    summary.increment("a")
+    assert summary.count_of("a") == (2, 0)
+    assert summary.count_of("b") == (1, 0)
+    assert summary.min_item() == "b"
+
+
+def test_increment_weighted():
+    summary = StreamSummary(4)
+    summary.insert("a", count=1, error=0)
+    summary.insert("b", count=5, error=0)
+    summary.increment("a", weight=10)
+    assert summary.count_of("a") == (11, 0)
+    assert summary.min_item() == "b"
+
+
+def test_increment_requires_positive_weight():
+    summary = StreamSummary(2)
+    summary.insert("a", count=1, error=0)
+    with pytest.raises(ValueError):
+        summary.increment("a", weight=0)
+
+
+def test_evict_min_removes_least_frequent():
+    summary = StreamSummary(4)
+    summary.insert("a", count=7, error=0)
+    summary.insert("b", count=2, error=0)
+    summary.insert("c", count=5, error=0)
+    item, count = summary.evict_min()
+    assert (item, count) == ("b", 2)
+    assert "b" not in summary
+    assert len(summary) == 2
+    assert summary.min_item() == "c"
+
+
+def test_items_descending_and_ascending():
+    summary = StreamSummary(8)
+    for item, count in [("a", 5), ("b", 2), ("c", 9), ("d", 2)]:
+        summary.insert(item, count=count, error=0)
+    descending = [count for _, count, _ in summary.items_descending()]
+    assert descending == sorted(descending, reverse=True)
+    ascending = [count for _, count, _ in summary.items_ascending()]
+    assert ascending == sorted(ascending)
+    assert set(i for i, _, _ in summary.items_descending()) == {
+        "a",
+        "b",
+        "c",
+        "d",
+    }
+
+
+def test_shared_bucket_handling():
+    """Several items can share a bucket; detaching one keeps the others."""
+    summary = StreamSummary(4)
+    summary.insert("a", count=3, error=0)
+    summary.insert("b", count=3, error=0)
+    summary.insert("c", count=3, error=0)
+    summary.increment("b")
+    assert summary.count_of("a") == (3, 0)
+    assert summary.count_of("b") == (4, 0)
+    assert summary.count_of("c") == (3, 0)
+
+
+def test_clear():
+    summary = StreamSummary(4)
+    summary.insert("a", count=1, error=0)
+    summary.clear()
+    assert len(summary) == 0
+    assert summary.min_count() == 0
+    summary.insert("a", count=1, error=0)
+    assert summary.count_of("a") == (1, 0)
+
+
+def test_bucket_list_stays_sorted_under_mixed_operations():
+    summary = StreamSummary(16)
+    for i in range(16):
+        summary.insert(i, count=1 + (i % 3), error=0)
+    for i in range(0, 16, 2):
+        summary.increment(i, weight=1 + i)
+    for _ in range(4):
+        summary.evict_min()
+    counts = [count for _, count, _ in summary.items_ascending()]
+    assert counts == sorted(counts)
+    assert len(summary) == 12

@@ -1,0 +1,120 @@
+"""Tests for the Section 4.2 synthetic workload."""
+
+import itertools
+
+import pytest
+
+from repro.engine import Padding, RunConfig, run
+from repro.errors import WorkloadError
+from repro.workloads import SyntheticConfig, SyntheticWorkload
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        SyntheticConfig(parallelism=0)
+    with pytest.raises(WorkloadError):
+        SyntheticConfig(locality=1.5)
+    with pytest.raises(WorkloadError):
+        SyntheticConfig(padding=-1)
+
+
+def test_tuples_structure_and_padding():
+    workload = SyntheticWorkload(
+        SyntheticConfig(parallelism=4, locality=0.5, padding=1234)
+    )
+    for i, j, pad in itertools.islice(workload.tuples_for_instance(2), 50):
+        assert i == 2
+        assert 0 <= j < 4
+        assert pad == Padding(1234)
+
+
+def test_locality_parameter_controls_match_rate():
+    config = SyntheticConfig(parallelism=4, locality=0.7, seed=3)
+    workload = SyntheticWorkload(config)
+    matched = 0
+    total = 4000
+    for i, j, _ in itertools.islice(workload.tuples_for_instance(1), total):
+        matched += i == j
+    assert matched / total == pytest.approx(0.7, abs=0.03)
+
+
+def test_locality_one_always_matches():
+    workload = SyntheticWorkload(SyntheticConfig(parallelism=3, locality=1.0))
+    for i, j, _ in itertools.islice(workload.tuples_for_instance(0), 100):
+        assert i == j
+
+
+def test_parallelism_one_always_matches():
+    workload = SyntheticWorkload(SyntheticConfig(parallelism=1, locality=0.0))
+    for i, j, _ in itertools.islice(workload.tuples_for_instance(0), 10):
+        assert (i, j) == (0, 0)
+
+
+def test_tuples_per_instance_bounds_stream():
+    workload = SyntheticWorkload(
+        SyntheticConfig(parallelism=2, tuples_per_instance=17)
+    )
+    assert len(list(workload.tuples_for_instance(0))) == 17
+
+
+def test_unknown_policy_rejected():
+    workload = SyntheticWorkload(SyntheticConfig(parallelism=2))
+    with pytest.raises(WorkloadError):
+        workload.topology("magic")
+
+
+@pytest.mark.parametrize("policy", ["locality-aware", "hash-based", "worst-case"])
+def test_topologies_run(policy):
+    workload = SyntheticWorkload(
+        SyntheticConfig(parallelism=2, locality=0.8, seed=1)
+    )
+    result = run(
+        workload.topology(policy),
+        RunConfig(duration_s=0.08, warmup_s=0.02, num_servers=2),
+    )
+    assert result.throughput > 0
+
+
+def test_policy_ordering_matches_paper():
+    """locality-aware >= hash-based >= worst-case in throughput."""
+    config = RunConfig(duration_s=0.12, warmup_s=0.04, num_servers=3)
+    results = {}
+    for policy in ("locality-aware", "hash-based", "worst-case"):
+        workload = SyntheticWorkload(
+            SyntheticConfig(parallelism=3, locality=0.9, padding=8000)
+        )
+        results[policy] = run(workload.topology(policy), config).throughput
+    assert results["locality-aware"] > results["hash-based"]
+    assert results["hash-based"] >= results["worst-case"] * 0.9
+
+
+def test_locality_aware_sa_hop_is_local():
+    workload = SyntheticWorkload(
+        SyntheticConfig(parallelism=3, locality=0.6)
+    )
+    result = run(
+        workload.topology("locality-aware"),
+        RunConfig(duration_s=0.08, warmup_s=0.02, num_servers=3),
+    )
+    assert result.stream_locality["S->A"] == 1.0
+    assert result.stream_locality["A->B"] == pytest.approx(0.6, abs=0.05)
+
+
+def test_worst_case_matched_tuples_always_remote():
+    workload = SyntheticWorkload(
+        SyntheticConfig(parallelism=2, locality=1.0)
+    )
+    result = run(
+        workload.topology("worst-case"),
+        RunConfig(duration_s=0.08, warmup_s=0.02, num_servers=2),
+    )
+    assert result.stream_locality["A->B"] == 0.0
+
+
+def test_online_topology_uses_tables():
+    from repro.engine.grouping import TableFieldsGrouping
+
+    workload = SyntheticWorkload(SyntheticConfig(parallelism=2))
+    topology = workload.online_topology()
+    for stream in topology.streams:
+        assert isinstance(stream.grouping, TableFieldsGrouping)

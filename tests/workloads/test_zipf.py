@@ -1,0 +1,84 @@
+"""Tests for the Zipf and weighted samplers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import ZipfSampler
+from repro.workloads.zipf import WeightedSampler, derived_rng
+
+
+def test_zipf_validation():
+    with pytest.raises(WorkloadError):
+        ZipfSampler(0)
+    with pytest.raises(WorkloadError):
+        ZipfSampler(10, exponent=-1.0)
+
+
+def test_zipf_samples_in_range():
+    sampler = ZipfSampler(100, seed=1)
+    for _ in range(1000):
+        assert 0 <= sampler.sample() < 100
+
+
+def test_zipf_is_skewed():
+    sampler = ZipfSampler(1000, exponent=1.0, seed=2)
+    counts = Counter(sampler.sample() for _ in range(20000))
+    assert counts[0] > counts.get(100, 0) > counts.get(900, 0) - 5
+    # Rank 0 should receive roughly 1/H_1000 ~ 13% of the mass.
+    assert 0.08 < counts[0] / 20000 < 0.20
+
+
+def test_zipf_exponent_zero_is_uniform():
+    sampler = ZipfSampler(4, exponent=0.0, seed=3)
+    counts = Counter(sampler.sample() for _ in range(8000))
+    for rank in range(4):
+        assert counts[rank] == pytest.approx(2000, rel=0.15)
+
+
+def test_zipf_pmf_sums_to_one():
+    sampler = ZipfSampler(50, exponent=1.3)
+    assert sum(sampler.pmf(rank) for rank in range(50)) == pytest.approx(1.0)
+    with pytest.raises(WorkloadError):
+        sampler.pmf(50)
+
+
+def test_zipf_deterministic_with_seed():
+    first = [ZipfSampler(100, seed=7).sample() for _ in range(10)]
+    second = [ZipfSampler(100, seed=7).sample() for _ in range(10)]
+    assert first == second
+
+
+def test_zipf_external_rng():
+    sampler = ZipfSampler(100)
+    rng = random.Random(5)
+    values = [sampler.sample(rng) for _ in range(5)]
+    rng = random.Random(5)
+    assert values == [sampler.sample(rng) for _ in range(5)]
+
+
+def test_weighted_sampler_validation():
+    with pytest.raises(WorkloadError):
+        WeightedSampler([])
+    with pytest.raises(WorkloadError):
+        WeightedSampler([1.0, -0.1])
+    with pytest.raises(WorkloadError):
+        WeightedSampler([0.0, 0.0])
+
+
+def test_weighted_sampler_proportions():
+    sampler = WeightedSampler([3.0, 1.0], seed=4)
+    counts = Counter(sampler.sample() for _ in range(8000))
+    assert counts[0] / 8000 == pytest.approx(0.75, abs=0.03)
+
+
+def test_weighted_sampler_zero_weight_never_sampled():
+    sampler = WeightedSampler([1.0, 0.0, 1.0], seed=5)
+    assert 1 not in {sampler.sample() for _ in range(2000)}
+
+
+def test_derived_rng_deterministic_and_distinct():
+    assert derived_rng(1, "a", 2).random() == derived_rng(1, "a", 2).random()
+    assert derived_rng(1, "a").random() != derived_rng(1, "b").random()

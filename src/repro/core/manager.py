@@ -56,6 +56,10 @@ class ManagerConfig:
     max_edges: Optional[int] = None
     #: One-way latency of manager <-> POI control RPCs.
     rpc_latency_s: float = 1.0e-3
+    #: Abort a round that has not completed within this many simulated
+    #: seconds (lost/late control messages otherwise wedge the round
+    #: forever); None disables the deadline.
+    round_timeout_s: Optional[float] = None
     #: Seed for the partitioner.
     seed: int = 0
     #: Statistics collector factory (swap in ExactCounter for offline).
@@ -81,6 +85,10 @@ class RoundRecord:
     vetoed: bool = False
     #: the estimator's Estimate, when an estimator is configured
     estimate: Optional[object] = None
+    #: set when the round deadline expired before completion
+    aborted: bool = False
+    aborted_at: Optional[float] = None
+    abort_reason: str = ""
 
     @property
     def duration_s(self) -> Optional[float]:
@@ -110,6 +118,12 @@ class Manager:
         self._on_round_complete: Optional[Callable] = None
         self._stopped = False
         self._timer = None
+        self._deadline = None
+        self._tables_before_round: Dict[str, RoutingTable] = {}
+        self._streams_by_name: Dict[str, RoutedStream] = {}
+        #: late RPC/completion callbacks ignored because their round
+        #: was aborted or superseded (telemetry)
+        self.stale_callbacks = 0
         self._install()
 
     # ------------------------------------------------------------------
@@ -142,6 +156,7 @@ class Manager:
                     stateful_dst=stateful,
                 )
             )
+        self._streams_by_name = {s.name: s for s in self._routed_streams}
         # A stateful operator's keys live in exactly one namespace, so
         # it must have at most one table-routed input stream.
         routed_inputs: Dict[str, int] = {}
@@ -185,12 +200,18 @@ class Manager:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Arm periodic reconfiguration (config.period_s)."""
+        """Arm periodic reconfiguration (config.period_s).
+
+        Idempotent: calling start() on a running manager re-arms the
+        single periodic timer instead of stacking a second one.
+        """
         if self.config.period_s is None:
             raise ReconfigurationError(
                 "ManagerConfig.period_s is None; call reconfigure() manually"
             )
         self._stopped = False
+        if self._timer is not None:
+            self._timer.cancel()
         self._timer = self.sim.schedule(
             self.config.period_s, self._periodic_tick
         )
@@ -212,14 +233,20 @@ class Manager:
             return False
         self._round_active = True
         self._round_id += 1
+        round_id = self._round_id
         self._on_round_complete = on_complete
-        record = RoundRecord(self._round_id, started_at=self.sim.now)
+        record = RoundRecord(round_id, started_at=self.sim.now)
         self.rounds.append(record)
         self._stats = {}
+        self._tables_before_round = dict(self.current_tables)
         self._collect_outstanding = len(self._instrumented)
+        if self.config.round_timeout_s is not None:
+            self._deadline = self.sim.schedule(
+                self.config.round_timeout_s, self._on_round_deadline, round_id
+            )
         latency = self.config.rpc_latency_s
         for executor in self._instrumented:  # step 1: GET_METRICS
-            self.sim.schedule(latency, self._rpc_get_metrics, executor)
+            self.sim.schedule(latency, self._rpc_get_metrics, executor, round_id)
         return True
 
     @property
@@ -229,6 +256,10 @@ class Manager:
     @property
     def completed_rounds(self) -> List[RoundRecord]:
         return [r for r in self.rounds if r.completed_at is not None]
+
+    @property
+    def aborted_rounds(self) -> List[RoundRecord]:
+        return [r for r in self.rounds if r.aborted]
 
     # ------------------------------------------------------------------
     # Round internals
@@ -242,12 +273,26 @@ class Manager:
             self.config.period_s, self._periodic_tick
         )
 
-    def _rpc_get_metrics(self, executor) -> None:
+    def _is_current(self, round_id: int) -> bool:
+        """Is ``round_id`` the round currently in flight? Late
+        callbacks from aborted rounds fail this and are dropped."""
+        if self._round_active and round_id == self._round_id:
+            return True
+        self.stale_callbacks += 1
+        return False
+
+    def _rpc_get_metrics(self, executor, round_id: int) -> None:
+        if not self._is_current(round_id):
+            return
         agent = self._agents[(executor.op_name, executor.instance)]
         stats = agent.on_get_metrics()  # step 2: SEND_METRICS
-        self.sim.schedule(self.config.rpc_latency_s, self._on_metrics, stats)
+        self.sim.schedule(
+            self.config.rpc_latency_s, self._on_metrics, stats, round_id
+        )
 
-    def _on_metrics(self, stats: Dict) -> None:
+    def _on_metrics(self, stats: Dict, round_id: int) -> None:
+        if not self._is_current(round_id):
+            return
         for edge_pair, estimates in stats.items():
             self._stats.setdefault(edge_pair, []).extend(estimates)
         self._collect_outstanding -= 1
@@ -261,10 +306,7 @@ class Manager:
         if keygraph.num_edges == 0:
             # Nothing observed yet: skip this round.
             record.skipped = True
-            record.completed_at = self.sim.now
-            self._round_active = False
-            if self._on_round_complete is not None:
-                self._on_round_complete(record)
+            self._complete_round(record)
             return
 
         num_servers = self._partition_size()
@@ -288,10 +330,7 @@ class Manager:
                 self.config.estimator.config.margin
             ):
                 record.vetoed = True
-                record.completed_at = self.sim.now
-                self._round_active = False
-                if self._on_round_complete is not None:
-                    self._on_round_complete(record)
+                self._complete_round(record)
                 return
 
         self.current_tables.update(plan.tables)
@@ -321,10 +360,16 @@ class Manager:
             self.sim.schedule(latency, self._rpc_send_reconf, agent, payload)
 
     def _rpc_send_reconf(self, agent, payload) -> None:
+        if not self._is_current(payload.round_id):
+            return
         agent.on_reconf(payload)
-        self.sim.schedule(self.config.rpc_latency_s, self._on_ack)  # step 4
+        self.sim.schedule(  # step 4
+            self.config.rpc_latency_s, self._on_ack, payload.round_id
+        )
 
-    def _on_ack(self) -> None:
+    def _on_ack(self, round_id: int) -> None:
+        if not self._is_current(round_id):
+            return
         self._ack_outstanding -= 1
         if self._ack_outstanding == 0:
             self._start_propagation()
@@ -355,9 +400,16 @@ class Manager:
                 )
 
         # Routing table updates go to the *source* executors of each
-        # routed stream.
+        # routed stream, resolved through the deployment metadata (a
+        # stream's name is a label, not an address).
         for stream_name, table in plan.tables.items():
-            src, _, dst = stream_name.partition("->")
+            stream = self._streams_by_name.get(stream_name)
+            if stream is None:
+                raise ReconfigurationError(
+                    f"plan contains table for unmanaged stream "
+                    f"{stream_name!r}"
+                )
+            src = stream.src_op
             for executor in self.deployment.instances(src):
                 payloads[(src, executor.instance)].router_updates[
                     stream_name
@@ -374,6 +426,56 @@ class Manager:
         return payloads
 
     # ------------------------------------------------------------------
+    # Round completion, deadline and abort
+    # ------------------------------------------------------------------
+
+    def _complete_round(self, record: RoundRecord) -> None:
+        record.completed_at = self.sim.now
+        self._finish_round(record)
+
+    def _finish_round(self, record: RoundRecord) -> None:
+        self._round_active = False
+        if self._deadline is not None:
+            self._deadline.cancel()
+            self._deadline = None
+        if self._on_round_complete is not None:
+            callback, self._on_round_complete = self._on_round_complete, None
+            callback(record)
+
+    def _on_round_deadline(self, round_id: int) -> None:
+        if not self._round_active or round_id != self._round_id:
+            return
+        self._abort_round(
+            f"deadline of {self.config.round_timeout_s}s expired"
+        )
+
+    def _abort_round(self, reason: str) -> None:
+        """Abort the in-flight round: discard pending reconfigurations,
+        release held keys, and roll routing back to the pre-round
+        tables so every not-yet-migrated key keeps its previous (or
+        hash-fallback) owner. State already migrated stays where it
+        landed — hash fallback plus state merging keeps per-key totals
+        exact; only locality is temporarily suboptimal."""
+        record = self.rounds[-1]
+        record.aborted = True
+        record.aborted_at = self.sim.now
+        record.abort_reason = reason
+        self.current_tables = dict(self._tables_before_round)
+        self._push_tables(self.current_tables)
+        for agent in self._agents.values():
+            agent.on_abort(record.round_id)
+        self.deployment.metrics.on_round_aborted()
+        self._finish_round(record)
+
+    def _push_tables(self, tables: Dict[str, RoutingTable]) -> None:
+        """Force-update every source router out-of-band (abort path:
+        the in-band protocol is presumed wedged)."""
+        for stream in self._routed_streams:
+            table = tables.get(stream.name)
+            for executor in self.deployment.instances(stream.src_op):
+                executor.table_router(stream.name).update_table(table)
+
+    # ------------------------------------------------------------------
     # Agent notifications
     # ------------------------------------------------------------------
 
@@ -381,19 +483,10 @@ class Manager:
         """A POI swapped tables and forwarded PROPAGATE (telemetry)."""
 
     def notify_complete(self, agent, round_id: int) -> None:
-        """A POI finished the round (propagated + all state received)."""
-        if round_id != self._round_id:
-            raise ReconfigurationError(
-                f"completion for round {round_id}, current {self._round_id}"
-            )
+        """A POI finished the round (propagated + all state received).
+        Completions of aborted/superseded rounds are dropped."""
+        if not self._is_current(round_id):
+            return
         self._complete_outstanding -= 1
         if self._complete_outstanding == 0:
-            record = self.rounds[-1]
-            record.completed_at = self.sim.now
-            self._round_active = False
-            if self._on_round_complete is not None:
-                callback, self._on_round_complete = (
-                    self._on_round_complete,
-                    None,
-                )
-                callback(record)
+            self._complete_round(self.rounds[-1])

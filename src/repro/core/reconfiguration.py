@@ -23,12 +23,20 @@ count is misplaced (validated by integration tests).
 
 Steps 1–4 are manager↔POI RPCs and travel out-of-band (they do not
 alter routing); steps 5–6 are in-band.
+
+Robustness: the agent is *idempotent* with respect to the imperfect
+deliveries repro.faults can inject. PROPAGATEs are deduplicated per
+sender, MIGRATEs per (round, sender); stale messages (from an aborted
+or superseded round) are absorbed instead of raising, and a stale
+MIGRATE still installs its state entries so no count is ever destroyed.
+Every absorbed anomaly is counted in :attr:`ReconfigurationAgent.anomalies`.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.routing_table import RoutingTable
 from repro.engine.executor import BaseExecutor, ControlMessage, SpoutExecutor
@@ -83,10 +91,16 @@ class ReconfigurationAgent:
         self.predecessors_needed = max(1, predecessors_needed)
         self.peers = peers
         self.successors = successors
-        self._pending: PoiReconfiguration = None
-        self._propagates = 0
+        self._pending: Optional[PoiReconfiguration] = None
+        #: distinct senders whose PROPAGATE arrived for the pending round
+        self._propagated_from: Set[str] = set()
         self._migrations = 0
+        #: (round_id, sender) of every MIGRATE already applied, so
+        #: duplicated deliveries never install state twice
+        self._seen_migrations: Set[Tuple[int, str]] = set()
         self._applied_round = -1
+        #: absorbed protocol anomalies, by kind (telemetry)
+        self.anomalies: Counter = Counter()
         executor.control_handler = self.handle
 
     # ------------------------------------------------------------------
@@ -102,17 +116,47 @@ class ReconfigurationAgent:
 
     def on_reconf(self, payload: PoiReconfiguration) -> None:
         """Step 3: store the pending reconfiguration and start
-        buffering tuples for keys whose state has not arrived yet."""
+        buffering tuples for keys whose state has not arrived yet.
+
+        Idempotent: a duplicate SEND_RECONF for the pending round and a
+        stale one for an older round are absorbed; a *newer* round
+        supersedes a wedged pending one (the manager only starts a new
+        round after completing or aborting the previous, so a leftover
+        pending here is the residue of a lost/aborted round)."""
         if self._pending is not None:
-            raise ReconfigurationError(
-                f"{self.executor.name}: reconfiguration round "
-                f"{self._pending.round_id} still pending"
-            )
+            if payload.round_id == self._pending.round_id:
+                self.anomalies["duplicate_reconf"] += 1
+                return
+            if payload.round_id < self._pending.round_id:
+                self.anomalies["stale_reconf"] += 1
+                return
+            self.anomalies["superseded_reconf"] += 1
+            self._discard_pending()
         self._pending = payload
-        self._propagates = 0
+        self._propagated_from = set()
         self._migrations = 0
         if payload.receive_keys:
             self.executor.hold_keys(payload.receive_keys)
+
+    def on_abort(self, round_id: int) -> None:
+        """The manager aborted ``round_id`` (deadline expired): discard
+        the pending reconfiguration and release every held key back to
+        normal routing — their buffered tuples replay against whatever
+        state is locally present (hash-fallback semantics)."""
+        if self._pending is None or self._pending.round_id != round_id:
+            return
+        self.anomalies["aborted"] += 1
+        self._discard_pending()
+
+    def _discard_pending(self) -> None:
+        self._pending = None
+        self._propagated_from = set()
+        self._migrations = 0
+        executor = self.executor
+        held = getattr(executor, "held_keys", None)
+        if held:
+            for key in held:
+                executor.release_key(key)
 
     # ------------------------------------------------------------------
     # In-band control messages (PROPAGATE / MIGRATE)
@@ -120,26 +164,29 @@ class ReconfigurationAgent:
 
     def handle(self, msg: ControlMessage, executor: BaseExecutor) -> None:
         if msg.kind == PROPAGATE:
-            self._on_propagate(msg.payload)
+            self._on_propagate(msg.payload, msg.sender)
         elif msg.kind == MIGRATE:
-            self._on_migrate(msg.payload)
+            self._on_migrate(msg.payload, msg.sender)
         else:
             raise ReconfigurationError(
                 f"{executor.name}: unexpected control message {msg.kind!r}"
             )
 
-    def _on_propagate(self, round_id: int) -> None:
+    def _on_propagate(self, round_id: int, sender: str) -> None:
         if self._pending is None or round_id != self._pending.round_id:
-            raise ReconfigurationError(
-                f"{self.executor.name}: PROPAGATE for round {round_id} "
-                f"without matching reconfiguration"
-            )
-        self._propagates += 1
-        if self._propagates > self.predecessors_needed:
-            raise ReconfigurationError(
-                f"{self.executor.name}: more PROPAGATEs than predecessors"
-            )
-        if self._propagates == self.predecessors_needed:
+            # Late/duplicated PROPAGATE of an aborted, superseded or
+            # already-finished round: absorb it (the barrier property
+            # only matters while the round is live here).
+            self.anomalies["stale_propagate"] += 1
+            return
+        if sender in self._propagated_from:
+            self.anomalies["duplicate_propagate"] += 1
+            return
+        self._propagated_from.add(sender)
+        if (
+            len(self._propagated_from) >= self.predecessors_needed
+            and self._applied_round != round_id
+        ):
             self._apply()
 
     def _apply(self) -> None:
@@ -174,31 +221,38 @@ class ReconfigurationAgent:
             forward(successor)
 
         self._applied_round = payload.round_id
-        if payload.expected_migrations == self._migrations:
+        if self._migrations >= payload.expected_migrations:
             self._finish_round()
         self.manager.notify_propagated(self, payload.round_id)
 
-    def _on_migrate(self, payload: MigratePayload) -> None:
-        if self._pending is None or payload.round_id != self._pending.round_id:
-            raise ReconfigurationError(
-                f"{self.executor.name}: MIGRATE for round "
-                f"{payload.round_id} without matching reconfiguration"
-            )
+    def _on_migrate(self, payload: MigratePayload, sender: str) -> None:
+        token = (payload.round_id, sender)
+        if token in self._seen_migrations:
+            # Exact redelivery: installing twice would double counts.
+            self.anomalies["duplicate_migrate"] += 1
+            return
+        self._seen_migrations.add(token)
         executor = self.executor
         executor.install_state(payload.entries)
         for key in payload.keys:
             executor.release_key(key)
+        if self._pending is None or payload.round_id != self._pending.round_id:
+            # State from an aborted/superseded round still gets
+            # installed above (never destroy state), it just no longer
+            # advances any round.
+            self.anomalies["stale_migrate"] += 1
+            return
         self._migrations += 1
         if (
             self._applied_round == payload.round_id
-            and self._migrations == self._pending.expected_migrations
+            and self._migrations >= self._pending.expected_migrations
         ):
             self._finish_round()
 
     def _finish_round(self) -> None:
         payload = self._pending
         self._pending = None
-        self._propagates = 0
+        self._propagated_from = set()
         self._migrations = 0
         self.manager.notify_complete(self, payload.round_id)
 

@@ -107,6 +107,10 @@ class BaseExecutor:
         #: optional handler ``fn(msg, executor)`` for control messages —
         #: set by core.reconfiguration
         self.control_handler: Optional[Callable] = None
+        #: optional interception hook with ``on_control(executor, msg)
+        #: -> bool`` consulted on every control delivery; True means the
+        #: hook consumed the delivery — set by repro.faults
+        self.fault_hook = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -205,6 +209,17 @@ class BaseExecutor:
             dst.deliver_control(msg)
 
     def deliver_control(self, msg: ControlMessage) -> None:
+        """Delivery entry point for control messages (local sends,
+        network arrivals and manager RPCs all land here). An installed
+        fault hook may drop, delay, duplicate or reorder the delivery;
+        redeliveries bypass the hook via :meth:`accept_control`."""
+        hook = self.fault_hook
+        if hook is not None and hook.on_control(self, msg):
+            return
+        self.accept_control(msg)
+
+    def accept_control(self, msg: ControlMessage) -> None:
+        """Enqueue a control message, bypassing fault interception."""
         raise NotImplementedError
 
     def handle_control(self, msg: ControlMessage) -> None:
@@ -298,7 +313,7 @@ class BoltExecutor(BaseExecutor):
         self._queue.append(("data", tup, remote, src_op))
         self._maybe_start()
 
-    def deliver_control(self, msg: ControlMessage) -> None:
+    def accept_control(self, msg: ControlMessage) -> None:
         if self._crashed:
             self.metrics.dropped[self.op_name] += 1
             return
@@ -425,7 +440,7 @@ class SpoutExecutor(BaseExecutor):
     def deliver(self, tup: Tuple, remote: bool, src_op: str) -> None:
         raise SimulationError(f"spout {self.name} cannot receive data tuples")
 
-    def deliver_control(self, msg: ControlMessage) -> None:
+    def accept_control(self, msg: ControlMessage) -> None:
         self._control_queue.append(msg)
         if not self._in_flight:
             self._drain_control()

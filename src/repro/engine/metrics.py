@@ -115,6 +115,10 @@ class MetricsHub:
         self.received: Dict[Tuple[str, int], int] = defaultdict(int)
         self.streams: Dict[str, StreamCounters] = defaultdict(StreamCounters)
         self.dropped: Dict[str, int] = defaultdict(int)
+        #: injected faults by action (fed by repro.faults.FaultInjector)
+        self.faults: Dict[str, int] = defaultdict(int)
+        #: reconfiguration rounds aborted on deadline (fed by Manager)
+        self.rounds_aborted = 0
         #: end-to-end latency of completed tuple trees (fed by the acker)
         self.latency = LatencyStats()
 
@@ -137,6 +141,12 @@ class MetricsHub:
 
     def on_processed(self, op: str, instance: int) -> None:
         self.processed[(op, instance)] += 1
+
+    def on_fault(self, action: str) -> None:
+        self.faults[action] += 1
+
+    def on_round_aborted(self) -> None:
+        self.rounds_aborted += 1
 
     # -- aggregate queries ----------------------------------------------
 

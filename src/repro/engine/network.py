@@ -124,6 +124,13 @@ class Network:
         self._nics: dict = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: optional hook ``fn(src, dst, nbytes, fn, args) -> float``
+        #: returning extra propagation latency (seconds) for this
+        #: transfer; None or 0.0 leaves the transfer untouched. Extra
+        #: latency is applied after egress, so it can reorder delivery
+        #: relative to other senders — exactly the imperfection the
+        #: fault-injection layer (repro.faults) exercises.
+        self.fault_hook: Optional[Callable] = None
 
     def attach(self, server) -> Nic:
         """Create (or return) the NIC for a server."""
@@ -153,6 +160,10 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += nbytes
         latency = self.latency_between(src, dst)
+        if self.fault_hook is not None:
+            extra = self.fault_hook(src, dst, nbytes, fn, args)
+            if extra:
+                latency += extra
         egress_done = self._nics[src.index].egress.reserve(nbytes)
         arrival = egress_done + latency
         ingress_done = self._nics[dst.index].ingress.reserve(nbytes, arrival)

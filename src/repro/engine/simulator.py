@@ -48,6 +48,12 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._executed = 0
+        #: optional hook ``fn(event) -> bool`` consulted before each
+        #: event runs; returning False consumes the event (it neither
+        #: executes nor counts). Used by repro.faults to drop or defer
+        #: deliveries; the hook may reschedule the event's callback.
+        self.interceptor: Optional[Callable[[Event], bool]] = None
+        self.intercepted = 0
 
     @property
     def now(self) -> float:
@@ -94,6 +100,9 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
+            if self.interceptor is not None and not self.interceptor(event):
+                self.intercepted += 1
+                continue
             self._executed += 1
             event.fn(*event.args)
             return True
@@ -123,6 +132,9 @@ class Simulator:
                 break
             heapq.heappop(heap)
             self._now = event.time
+            if self.interceptor is not None and not self.interceptor(event):
+                self.intercepted += 1
+                continue
             self._executed += 1
             executed += 1
             event.fn(*event.args)

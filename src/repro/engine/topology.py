@@ -39,10 +39,12 @@ class StreamSpec:
     src: str
     dst: str
     grouping: Grouping
+    #: optional explicit stream name; defaults to ``"src->dst"``
+    label: Optional[str] = None
 
     @property
     def name(self) -> str:
-        return f"{self.src}->{self.dst}"
+        return self.label if self.label is not None else f"{self.src}->{self.dst}"
 
 
 @dataclass
@@ -170,8 +172,18 @@ class TopologyBuilder:
             self.stream(src, name, grouping)
         return self
 
-    def stream(self, src: str, dst: str, grouping: Grouping) -> "TopologyBuilder":
-        """Declare a stream between two already-declared operators."""
+    def stream(
+        self,
+        src: str,
+        dst: str,
+        grouping: Grouping,
+        name: Optional[str] = None,
+    ) -> "TopologyBuilder":
+        """Declare a stream between two already-declared operators.
+
+        ``name`` optionally overrides the default ``"src->dst"`` label;
+        nothing in the system may rely on parsing that default form.
+        """
         if not isinstance(grouping, Grouping):
             raise TopologyError(
                 f"grouping for {src!r}->{dst!r} must be a Grouping, "
@@ -180,7 +192,11 @@ class TopologyBuilder:
         for existing in self._streams:
             if existing.src == src and existing.dst == dst:
                 raise TopologyError(f"duplicate stream {src!r} -> {dst!r}")
-        self._streams.append(StreamSpec(src, dst, grouping))
+        spec = StreamSpec(src, dst, grouping, label=name)
+        for existing in self._streams:
+            if existing.name == spec.name:
+                raise TopologyError(f"duplicate stream name {spec.name!r}")
+        self._streams.append(spec)
         return self
 
     def build(self) -> Topology:

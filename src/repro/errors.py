@@ -38,3 +38,7 @@ class ReconfigurationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is invalid or cannot attach to this deployment."""

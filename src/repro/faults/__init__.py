@@ -1,0 +1,43 @@
+"""Fault injection for the reconfiguration protocol (chaos tooling).
+
+Algorithm 1's correctness argument assumes perfect FIFO delivery and
+surviving POIs. This package injects the imperfections — dropped,
+delayed, duplicated and reordered control messages, lost RPC legs,
+slow links, crashing POIs — so tests can demonstrate that the
+protocol's no-tuple-loss / no-count-misplaced invariant (Section 3.4)
+and the manager's round-deadline recovery hold under all of them.
+
+See DESIGN.md §7 for the knob reference and abort semantics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    REORDER,
+    RPC_STEPS,
+    ControlFault,
+    CrashAt,
+    FaultPlan,
+    LinkDelay,
+    RpcFault,
+    control_round_id,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "ControlFault",
+    "RpcFault",
+    "LinkDelay",
+    "CrashAt",
+    "control_round_id",
+    "DROP",
+    "DELAY",
+    "DUPLICATE",
+    "REORDER",
+    "CRASH",
+    "RPC_STEPS",
+]

@@ -239,12 +239,21 @@ class TestManagerValidation:
                 ControlMessage("BOGUS", None, "test"), executor
             )
 
-    def test_agent_rejects_overlapping_reconfigurations(self):
+    def test_newer_reconfiguration_supersedes_wedged_round(self):
+        """A leftover pending round (lost/aborted) is discarded when
+        the next round's SEND_RECONF arrives; duplicates and stale
+        payloads are absorbed idempotently."""
         sim, deployment, manager = _deployed(period_s=None)
         agent = manager._agents[("A", 0)]
         agent.on_reconf(PoiReconfiguration(round_id=1))
-        with pytest.raises(ReconfigurationError):
-            agent.on_reconf(PoiReconfiguration(round_id=2))
+        agent.on_reconf(PoiReconfiguration(round_id=1))  # duplicate
+        assert agent.anomalies["duplicate_reconf"] == 1
+        agent.on_reconf(PoiReconfiguration(round_id=2))  # supersedes
+        assert agent.anomalies["superseded_reconf"] == 1
+        assert agent._pending.round_id == 2
+        agent.on_reconf(PoiReconfiguration(round_id=1))  # stale
+        assert agent.anomalies["stale_reconf"] == 1
+        assert agent._pending.round_id == 2
 
     def test_skipped_round_when_no_statistics(self):
         sim, deployment, manager = _deployed(period_s=None)

@@ -1,0 +1,198 @@
+"""Protocol error paths of the reconfiguration agent, unit-tested
+message by message: duplicate/excess/stale PROPAGATE, stale and
+duplicated MIGRATE (state installed exactly once, never destroyed),
+and unexpected control kinds.
+
+Also the regression test for routing-table payload addressing: stream
+names are labels, not ``src->dst`` strings to be parsed.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Manager, ManagerConfig
+from repro.core.reconfiguration import (
+    MIGRATE,
+    PROPAGATE,
+    MigratePayload,
+    PoiReconfiguration,
+)
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.executor import ControlMessage
+from repro.engine.operators import IteratorSpout
+from repro.errors import ReconfigurationError
+
+N = 3
+PER_SPOUT = 6000
+
+
+def _source(ctx):
+    rng = random.Random(ctx.instance_index)
+    for _ in range(PER_SPOUT):
+        a = ctx.instance_index if rng.random() < 0.8 else rng.randrange(N)
+        yield (a, a + 100)
+
+
+def _build(stream_names=("S->A", "A->B")):
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(_source), parallelism=N)
+    builder.bolt("A", lambda: CountBolt(0, forward=True), parallelism=N)
+    builder.bolt("B", lambda: CountBolt(1, forward=False), parallelism=N)
+    builder.stream("S", "A", TableFieldsGrouping(0), name=stream_names[0])
+    builder.stream("A", "B", TableFieldsGrouping(1), name=stream_names[1])
+    return builder.build()
+
+
+def _deployed(**kwargs):
+    sim = Simulator()
+    deployment = deploy(sim, Cluster(sim, N), _build(**kwargs))
+    manager = Manager(deployment, ManagerConfig(period_s=None))
+    return sim, deployment, manager
+
+
+def _propagate(agent, round_id, sender):
+    agent.handle(
+        ControlMessage(PROPAGATE, round_id, sender=sender), agent.executor
+    )
+
+
+def _migrate(agent, round_id, sender, keys, entries):
+    agent.handle(
+        ControlMessage(
+            MIGRATE, MigratePayload(round_id, keys, entries), sender=sender
+        ),
+        agent.executor,
+    )
+
+
+class TestPropagatePaths:
+    def test_applies_only_after_all_distinct_predecessors(self):
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("A", 0)]  # needs all N spout instances
+        agent.on_reconf(PoiReconfiguration(round_id=1))
+
+        _propagate(agent, 1, "S[0]")
+        _propagate(agent, 1, "S[0]")  # duplicate sender: absorbed
+        assert agent.anomalies["duplicate_propagate"] == 1
+        assert agent._applied_round != 1
+
+        _propagate(agent, 1, "S[1]")
+        assert agent._applied_round != 1  # still one short
+
+        _propagate(agent, 1, "S[2]")
+        assert agent._applied_round == 1
+        sim.run()  # flush forwarded PROPAGATEs
+
+    def test_excess_propagate_after_apply_is_absorbed(self):
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("A", 0)]
+        agent.on_reconf(PoiReconfiguration(round_id=1))
+        for i in range(N):
+            _propagate(agent, 1, f"S[{i}]")
+        assert agent._applied_round == 1
+        # expected_migrations == 0: the round finished at apply time,
+        # so a late extra PROPAGATE is stale, not an error.
+        assert not agent.busy
+        _propagate(agent, 1, "S[0]")
+        assert agent.anomalies["stale_propagate"] == 1
+        sim.run()
+
+    def test_propagate_without_pending_round_is_stale(self):
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("A", 1)]
+        _propagate(agent, 7, "S[0]")
+        assert agent.anomalies["stale_propagate"] == 1
+        assert not agent.busy
+
+    def test_propagate_for_wrong_round_is_stale(self):
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("A", 0)]
+        agent.on_reconf(PoiReconfiguration(round_id=3))
+        _propagate(agent, 2, "S[0]")  # aborted round's leftover
+        assert agent.anomalies["stale_propagate"] == 1
+        assert agent._propagated_from == set()
+
+
+class TestMigratePaths:
+    def test_stale_migrate_still_installs_state(self):
+        # "Never destroy state": counts from an aborted round's MIGRATE
+        # must land, or the per-key totals invariant breaks.
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("B", 0)]
+        bolt = deployment.executor("B", 0).operator
+        _migrate(agent, 99, "B[1]", [105], {105: 7})
+        assert bolt.state.get(105) == 7
+        assert agent.anomalies["stale_migrate"] == 1
+
+    def test_duplicate_migrate_installs_once(self):
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("B", 0)]
+        bolt = deployment.executor("B", 0).operator
+        _migrate(agent, 99, "B[1]", [105], {105: 7})
+        _migrate(agent, 99, "B[1]", [105], {105: 7})  # exact redelivery
+        assert bolt.state.get(105) == 7  # not 14
+        assert agent.anomalies["duplicate_migrate"] == 1
+
+    def test_migrate_counts_only_toward_its_own_round(self):
+        sim, deployment, manager = _deployed()
+        agent = manager._agents[("B", 0)]
+        agent.on_reconf(
+            PoiReconfiguration(round_id=5, expected_migrations=1)
+        )
+        _migrate(agent, 4, "B[1]", [105], {105: 2})  # stale
+        assert agent._migrations == 0
+        assert agent.busy  # round 5 still waiting
+        _migrate(agent, 5, "B[2]", [106], {106: 3})
+        assert agent._migrations == 1
+
+    def test_unexpected_control_kind_raises(self):
+        sim, deployment, manager = _deployed()
+        executor = deployment.executor("A", 0)
+        with pytest.raises(ReconfigurationError):
+            executor.control_handler(
+                ControlMessage("BOGUS", None, sender="test"), executor
+            )
+
+
+class TestPayloadAddressing:
+    def test_streams_with_custom_names_are_routed_by_metadata(self):
+        # Regression: _build_payloads used to split the stream name on
+        # "->" to find the source operator, which breaks the moment a
+        # stream has a label that is not "src->dst".
+        sim, deployment, manager = _deployed(
+            stream_names=("ingest", "pairs")
+        )
+        deployment.start()
+        sim.run(until=0.05)
+        done = []
+        assert manager.reconfigure(on_complete=done.append) is True
+        sim.run(until=0.2)
+        assert len(done) == 1
+        assert done[0].completed_at is not None
+        assert set(manager.current_tables) <= {"ingest", "pairs"}
+        assert manager.current_tables  # tables actually installed
+        for executor in deployment.instances("S"):
+            assert executor.table_router("ingest").table is not None
+        sim.run()
+        assert deployment.metrics.processed_total("B") == N * PER_SPOUT
+
+    def test_plan_for_unknown_stream_is_rejected(self):
+        from repro.core.assignment import ReconfigurationPlan
+        from repro.core.routing_table import RoutingTable
+
+        sim, deployment, manager = _deployed()
+        plan = ReconfigurationPlan(
+            tables={"nope": RoutingTable({})},
+            migrations={},
+            predicted_locality=1.0,
+        )
+        with pytest.raises(ReconfigurationError):
+            manager._build_payloads(plan)

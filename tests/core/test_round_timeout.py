@@ -1,0 +1,194 @@
+"""Manager round deadlines: a wedged round must abort cleanly —
+pending reconfigurations discarded, held keys released, routing rolled
+back to the pre-round tables — and the next round must still work.
+
+Also the regression tests for the control-plane bugs fixed alongside:
+``start()`` stacking a second periodic timer on double start.
+"""
+
+import random
+
+from repro.core import Manager, ManagerConfig
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.operators import IteratorSpout
+from repro.faults import ControlFault, FaultInjector, FaultPlan
+
+N = 3
+PER_SPOUT = 8000
+
+
+def _source(ctx):
+    rng = random.Random(ctx.instance_index)
+    for _ in range(PER_SPOUT):
+        a = ctx.instance_index if rng.random() < 0.8 else rng.randrange(N)
+        yield (a, a + 100)
+
+
+def _build():
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(_source), parallelism=N)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=N,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=N,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+def _deployed(**config_kwargs):
+    sim = Simulator()
+    deployment = deploy(sim, Cluster(sim, N), _build())
+    manager = Manager(deployment, ManagerConfig(**config_kwargs))
+    return sim, deployment, manager
+
+
+def _wedge_plan():
+    """Drop every PROPAGATE the manager seeds into the spouts: the
+    round can never propagate and must be recovered by the deadline."""
+    return FaultPlan(
+        control=[
+            ControlFault(
+                "drop", kind="PROPAGATE", sender="manager", max_matches=N
+            )
+        ]
+    )
+
+
+class TestRoundDeadline:
+    def test_wedged_round_aborts_with_rollback(self):
+        sim, deployment, manager = _deployed(
+            period_s=None, round_timeout_s=0.02
+        )
+        FaultInjector(_wedge_plan()).attach(deployment)
+        deployment.start()
+        sim.run(until=0.05)  # let statistics accumulate
+
+        done = []
+        assert manager.reconfigure(on_complete=done.append) is True
+        sim.run(until=0.09)  # past the 0.02s deadline
+
+        assert len(done) == 1
+        record = done[0]
+        assert record.aborted is True
+        assert record.aborted_at is not None
+        assert "deadline" in record.abort_reason
+        assert record.completed_at is None
+        assert manager.round_active is False
+        assert manager.aborted_rounds == [record]
+        assert deployment.metrics.rounds_aborted == 1
+
+        # Rollback: the first round started from empty tables, so the
+        # abort must return every source router to pure hash fallback.
+        assert manager.current_tables == {}
+        for executor in deployment.instances("S"):
+            assert executor.table_router("S->A").table is None
+        for executor in deployment.instances("A"):
+            assert executor.table_router("A->B").table is None
+
+        # Agents dropped their pending round and released held keys.
+        for agent in manager._agents.values():
+            assert agent._pending is None
+        for op in ("A", "B"):
+            for executor in deployment.instances(op):
+                assert executor.held_keys == set()
+
+        sim.run()  # drain; totals stay exact under hash fallback
+        assert deployment.metrics.processed_total("B") == N * PER_SPOUT
+
+    def test_round_after_abort_succeeds(self):
+        sim, deployment, manager = _deployed(
+            period_s=None, round_timeout_s=0.02
+        )
+        FaultInjector(_wedge_plan()).attach(deployment)
+        deployment.start()
+        sim.run(until=0.05)
+        manager.reconfigure()
+        sim.run(until=0.09)
+        assert len(manager.aborted_rounds) == 1
+
+        # The drop rule is exhausted: the next round completes and
+        # installs fresh tables.
+        done = []
+        assert manager.reconfigure(on_complete=done.append) is True
+        sim.run(until=0.2)
+        assert len(done) == 1
+        assert done[0].aborted is False
+        assert done[0].completed_at is not None
+        assert manager.current_tables
+
+    def test_deadline_cancelled_on_normal_completion(self):
+        sim, deployment, manager = _deployed(
+            period_s=None, round_timeout_s=0.04
+        )
+        deployment.start()
+        sim.run(until=0.05)
+        done = []
+        manager.reconfigure(on_complete=done.append)
+        sim.run()  # far beyond the deadline
+        assert len(done) == 1
+        assert done[0].aborted is False
+        assert manager.aborted_rounds == []
+        assert deployment.metrics.rounds_aborted == 0
+
+    def test_timeout_never_fires_when_unconfigured(self):
+        sim, deployment, manager = _deployed(period_s=None)
+        FaultInjector(_wedge_plan()).attach(deployment)
+        deployment.start()
+        sim.run(until=0.05)
+        manager.reconfigure()
+        sim.run()
+        # No deadline: the wedged round simply stays active.
+        assert manager.round_active is True
+        assert manager.aborted_rounds == []
+
+    def test_periodic_rounds_recover_after_abort(self):
+        sim, deployment, manager = _deployed(
+            period_s=0.05, round_timeout_s=0.03
+        )
+        FaultInjector(_wedge_plan()).attach(deployment)
+        manager.start()
+        deployment.start()
+        sim.run(until=0.5)
+        manager.stop()
+        sim.run()
+        assert len(manager.aborted_rounds) == 1
+        effective = [
+            r
+            for r in manager.completed_rounds
+            if not r.skipped and not r.aborted
+        ]
+        assert effective, "no effective round after the abort"
+        assert deployment.metrics.processed_total("B") == N * PER_SPOUT
+
+
+class TestStartTimerRegression:
+    def test_double_start_arms_a_single_timer(self):
+        # Regression: start() used to stack a second periodic timer,
+        # doubling the reconfiguration rate and wedging overlapped
+        # rounds.
+        sim, deployment, manager = _deployed(period_s=0.05)
+        manager.start()
+        manager.start()
+        assert sim.pending_events == 1
+
+    def test_stop_then_start_rearms_once(self):
+        sim, deployment, manager = _deployed(period_s=0.05)
+        manager.start()
+        manager.stop()
+        assert sim.pending_events == 0
+        manager.start()
+        assert sim.pending_events == 1

@@ -1,0 +1,292 @@
+"""Chaos matrix: the paper's no-tuple-loss / no-count-misplaced
+invariant (Section 3.4) must hold with and without injected faults.
+
+Every scenario runs the same workload as the fault-free baseline and
+must end with (a) the same delivered-tuple count at the sink PO, (b)
+per-key state totals identical to ground truth, (c) no round left
+active, no keys left held, nothing left in flight. Scenarios that
+wedge a round additionally assert the manager's deadline recovery
+(round aborted, tables rolled back).
+
+Crash/restart is asserted separately: a crash legitimately loses
+engine state, so the guarantee degrades to the engine's at-least-once
+delivery ("the guarantees are the ones provided by the streaming
+engine and are not impacted by state migration").
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import Manager, ManagerConfig
+from repro.engine import (
+    Bolt,
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.operators import IteratorSpout
+from repro.faults import (
+    ControlFault,
+    CrashAt,
+    FaultInjector,
+    FaultPlan,
+    LinkDelay,
+    RpcFault,
+)
+
+N = 3
+PER_SPOUT = 8000
+PERIOD_S = 0.05
+TIMEOUT_S = 0.03
+
+
+def _source(ctx):
+    """Spout i mostly emits key i (pair key i+100): reconfigurable."""
+    rng = random.Random(ctx.instance_index)
+    for _ in range(PER_SPOUT):
+        a = ctx.instance_index if rng.random() < 0.8 else rng.randrange(N)
+        yield (a, a + 100)
+
+
+def _ground_truth():
+    truth_a, truth_b = Counter(), Counter()
+    for i in range(N):
+        rng = random.Random(i)
+        for _ in range(PER_SPOUT):
+            a = i if rng.random() < 0.8 else rng.randrange(N)
+            truth_a[a] += 1
+            truth_b[a + 100] += 1
+    return truth_a, truth_b
+
+
+def _build():
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(_source), parallelism=N)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=N,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=N,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+def _run(plan=None):
+    sim = Simulator()
+    deployment = deploy(sim, Cluster(sim, N), _build())
+    manager = Manager(
+        deployment,
+        ManagerConfig(period_s=PERIOD_S, round_timeout_s=TIMEOUT_S),
+    )
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan).attach(deployment, manager)
+    manager.start()
+    deployment.start()
+    sim.run(until=0.5)
+    manager.stop()
+    sim.run()  # drain (including delayed redeliveries and deadlines)
+    return deployment, manager, injector
+
+
+def _state_totals(deployment, op):
+    totals = Counter()
+    for executor in deployment.instances(op):
+        for key, count in executor.operator.state.items():
+            totals[key] += count
+    return totals
+
+
+#: name -> (plan factory, round expected to wedge and abort?)
+SCENARIOS = {
+    "drop_propagate": (
+        lambda: FaultPlan(
+            control=[ControlFault("drop", kind="PROPAGATE", max_matches=2)]
+        ),
+        True,
+    ),
+    "drop_rpc_send_metrics": (
+        lambda: FaultPlan(rpcs=[RpcFault("drop", step="SEND_METRICS")]),
+        True,
+    ),
+    "drop_rpc_ack": (
+        lambda: FaultPlan(rpcs=[RpcFault("drop", step="ACK_RECONF")]),
+        True,
+    ),
+    "delay_propagate": (
+        lambda: FaultPlan(
+            control=[
+                ControlFault(
+                    "delay", kind="PROPAGATE", delay_s=0.004, max_matches=3
+                )
+            ]
+        ),
+        False,
+    ),
+    "delay_migrate_past_deadline": (
+        # Delay exceeds the round deadline: the round aborts, then the
+        # stale MIGRATE lands and must still install (never lose state).
+        lambda: FaultPlan(
+            control=[
+                ControlFault("delay", kind="MIGRATE", delay_s=0.05)
+            ]
+        ),
+        True,
+    ),
+    "duplicate_propagate": (
+        lambda: FaultPlan(
+            control=[
+                ControlFault("duplicate", kind="PROPAGATE", max_matches=2)
+            ]
+        ),
+        False,
+    ),
+    "duplicate_migrate": (
+        lambda: FaultPlan(
+            control=[
+                ControlFault("duplicate", kind="MIGRATE", max_matches=2)
+            ]
+        ),
+        False,
+    ),
+    "reorder_control_at_b": (
+        lambda: FaultPlan(
+            control=[ControlFault("reorder", kind="PROPAGATE", dst_op="B")]
+        ),
+        False,
+    ),
+    "slow_control_links": (
+        lambda: FaultPlan(
+            links=[LinkDelay(extra_s=0.002, max_matches=10)]
+        ),
+        False,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    deployment, manager, _ = _run()
+    assert deployment.metrics.processed_total("B") == N * PER_SPOUT
+    return {
+        "processed": deployment.metrics.processed_total("B"),
+        "state_a": _state_totals(deployment, "A"),
+        "state_b": _state_totals(deployment, "B"),
+        "effective_rounds": sum(
+            1 for r in manager.completed_rounds if not r.skipped
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_invariant_holds_under_faults(name, baseline):
+    factory, expect_abort = SCENARIOS[name]
+    deployment, manager, injector = _run(factory())
+
+    # The scenario actually injected something.
+    assert injector.injected > 0, f"{name}: no fault fired"
+
+    # (a) every emitted tuple was delivered exactly once end to end.
+    assert (
+        deployment.metrics.processed_total("B") == baseline["processed"]
+    ), f"{name}: tuple loss or duplication"
+    assert deployment.acker.in_flight == 0
+
+    # (b) per-key state totals match the fault-free ground truth.
+    truth_a, truth_b = _ground_truth()
+    assert _state_totals(deployment, "A") == truth_a, f"{name}: A state"
+    assert _state_totals(deployment, "B") == truth_b, f"{name}: B state"
+
+    # (c) the control plane came to rest: no active round, no held
+    # keys, and every agent drained its pending reconfiguration.
+    assert manager.round_active is False
+    for op in ("A", "B"):
+        for executor in deployment.instances(op):
+            assert executor.held_keys == set(), f"{name}: held keys"
+
+    if expect_abort:
+        aborted = manager.aborted_rounds
+        assert aborted, f"{name}: expected a round abort"
+        for record in aborted:
+            assert record.aborted_at is not None
+            assert record.abort_reason
+        assert deployment.metrics.rounds_aborted == len(aborted)
+        # Recovery: later rounds still reconfigure successfully.
+        assert any(
+            not r.skipped and not r.aborted for r in manager.completed_rounds
+        ), f"{name}: no effective round after the abort"
+
+
+class RecordingSink(Bolt):
+    def __init__(self):
+        self.seen = set()
+
+    def process(self, tup, context):
+        self.seen.add(tup.values[1])
+
+
+def test_crash_mid_round_recovers_via_replay():
+    """Crash a POI mid-round: the round aborts (or completes without
+    it), the supervisor restarts it, acker timeouts replay the lost
+    tuples, and the manager keeps reconfiguring afterwards."""
+
+    def source(ctx):
+        rng = random.Random(ctx.instance_index)
+        for i in range(4000):
+            key = rng.randrange(8)
+            yield (key, ctx.instance_index * 4000 + i, key + 100)
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=N)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=N,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "sink",
+        RecordingSink,
+        parallelism=N,
+        inputs={"A": TableFieldsGrouping(2)},
+    )
+    sim = Simulator()
+    deployment = deploy(
+        sim, Cluster(sim, N), builder.build(), message_timeout_s=0.08
+    )
+    manager = Manager(
+        deployment,
+        ManagerConfig(period_s=PERIOD_S, round_timeout_s=TIMEOUT_S),
+    )
+    # Crash A[1] just after the first periodic round kicks off.
+    plan = FaultPlan(crashes=[CrashAt("A", 1, at_s=0.052, down_s=0.01)])
+    injector = FaultInjector(plan).attach(deployment, manager)
+    manager.start()
+    deployment.start()
+    sim.run(until=0.5)
+    manager.stop()
+    sim.run()
+
+    assert injector.injected == 1
+    assert deployment.executor("A", 1).crash_count == 1
+    # At-least-once: every sequence number reached the sink.
+    seen = set()
+    for executor in deployment.instances("sink"):
+        seen |= executor.operator.seen
+    assert seen == set(range(N * 4000))
+    # The control plane is at rest and kept working after the crash.
+    assert manager.round_active is False
+    assert deployment.acker.in_flight == 0
+    for executor in deployment.instances("A"):
+        assert executor.held_keys == set()

@@ -1,0 +1,207 @@
+"""Unit tests of the fault-injection mechanics: each fault action on
+the three interception hooks (executor deliveries, simulator events,
+network transfers), plan validation, and telemetry."""
+
+import pytest
+
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    FieldsGrouping,
+    Simulator,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.executor import ControlMessage
+from repro.engine.operators import IteratorSpout
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    ControlFault,
+    CrashAt,
+    FaultInjector,
+    FaultPlan,
+    LinkDelay,
+    RpcFault,
+)
+
+PROPAGATE = "PROPAGATE"
+MIGRATE = "MIGRATE"
+
+
+def _empty_source(ctx):
+    return iter(())
+
+
+def _deployment(n=2, source=_empty_source):
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), n)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=False),
+        parallelism=n,
+        inputs={"S": FieldsGrouping(0)},
+    )
+    sim = Simulator()
+    deployment = deploy(sim, Cluster(sim, n), builder.build())
+    return sim, deployment
+
+
+def _recorded(deployment):
+    received = []
+    sim = deployment.sim
+    for executor in deployment.all_executors():
+        executor.control_handler = (
+            lambda msg, ex: received.append((sim.now, ex.name, msg))
+        )
+    return received
+
+
+class TestControlFaults:
+    def test_drop_consumes_matching_messages_only(self):
+        sim, deployment = _deployment()
+        received = _recorded(deployment)
+        plan = FaultPlan(control=[ControlFault("drop", kind=PROPAGATE)])
+        injector = FaultInjector(plan).attach(deployment)
+        a0, a1 = deployment.instances("A")
+        a0.send_control(a1, ControlMessage(PROPAGATE, 1, sender=a0.name))
+        a0.send_control(a1, ControlMessage(PROPAGATE, 2, sender=a0.name))
+        sim.run()
+        # max_matches=1: only the first PROPAGATE was dropped.
+        assert [m.payload for (_, _, m) in received] == [2]
+        assert injector.injected == 1
+        assert deployment.metrics.faults["drop"] == 1
+
+    def test_delay_redelivers_later(self):
+        sim, deployment = _deployment()
+        received = _recorded(deployment)
+        plan = FaultPlan(
+            control=[ControlFault("delay", kind=PROPAGATE, delay_s=0.02)]
+        )
+        FaultInjector(plan).attach(deployment)
+        a0, a1 = deployment.instances("A")
+        a0.send_control(a1, ControlMessage(PROPAGATE, 1, sender=a0.name))
+        sim.run()
+        assert len(received) == 1
+        assert received[0][0] >= 0.02
+
+    def test_duplicate_delivers_twice(self):
+        sim, deployment = _deployment()
+        received = _recorded(deployment)
+        plan = FaultPlan(control=[ControlFault("duplicate", kind=MIGRATE)])
+        FaultInjector(plan).attach(deployment)
+        a0, a1 = deployment.instances("A")
+        a0.send_control(a1, ControlMessage(MIGRATE, "m", sender=a0.name))
+        sim.run()
+        assert [m.payload for (_, _, m) in received] == ["m", "m"]
+
+    def test_reorder_swaps_with_next_message(self):
+        sim, deployment = _deployment()
+        received = _recorded(deployment)
+        plan = FaultPlan(
+            control=[ControlFault("reorder", kind=PROPAGATE, round_id=1)]
+        )
+        FaultInjector(plan).attach(deployment)
+        a0, a1 = deployment.instances("A")
+        a0.send_control(a1, ControlMessage(PROPAGATE, 1, sender=a0.name))
+        a0.send_control(a1, ControlMessage(PROPAGATE, 2, sender=a0.name))
+        sim.run()
+        assert [m.payload for (_, _, m) in received] == [2, 1]
+
+    def test_crash_on_control_arrival(self):
+        sim, deployment = _deployment()
+        _recorded(deployment)
+        plan = FaultPlan(
+            control=[
+                ControlFault(
+                    "crash", kind=PROPAGATE, dst_op="A", dst_instance=1,
+                    down_s=0.01,
+                )
+            ]
+        )
+        FaultInjector(plan).attach(deployment)
+        a0, a1 = deployment.instances("A")
+        a0.send_control(a1, ControlMessage(PROPAGATE, 1, sender=a0.name))
+        sim.run(until=0.001)
+        assert a1.crashed
+        sim.run()
+        assert not a1.crashed  # supervisor restarted it
+        assert a1.crash_count == 1
+        # The message went down with the POI.
+        assert deployment.metrics.dropped["A"] == 1
+
+    def test_scheduled_crash_and_restart(self):
+        sim, deployment = _deployment()
+        plan = FaultPlan(crashes=[CrashAt("A", 0, at_s=0.05, down_s=0.02)])
+        FaultInjector(plan).attach(deployment)
+        a0 = deployment.executor("A", 0)
+        sim.run(until=0.06)
+        assert a0.crashed
+        sim.run(until=0.1)
+        assert not a0.crashed
+
+    def test_crash_rejects_spouts(self):
+        sim, deployment = _deployment()
+        plan = FaultPlan(crashes=[CrashAt("S", 0, at_s=0.01)])
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(plan).attach(deployment)
+
+
+class TestLinkAndRpcFaults:
+    def test_link_delay_slows_remote_control(self):
+        times = []
+        for extra in (None, 0.03):
+            sim, deployment = _deployment()
+            received = _recorded(deployment)
+            if extra is not None:
+                plan = FaultPlan(links=[LinkDelay(extra_s=extra)])
+                FaultInjector(plan).attach(deployment)
+            a0, a1 = deployment.instances("A")
+            assert a0.server.index != a1.server.index
+            a0.send_control(a1, ControlMessage(PROPAGATE, 1, sender=a0.name))
+            sim.run()
+            times.append(received[0][0])
+        assert times[1] >= times[0] + 0.03
+
+    def test_link_delay_control_only_leaves_data_alone(self):
+        sim, deployment = _deployment(
+            source=lambda ctx: iter((k,) for k in range(200))
+        )
+        plan = FaultPlan(links=[LinkDelay(extra_s=0.5, control_only=True)])
+        injector = FaultInjector(plan).attach(deployment)
+        deployment.start()
+        sim.run()
+        # Data crossed servers, but a control-only link rule ignores it.
+        assert deployment.metrics.streams["S->A"].remote_tuples > 0
+        assert injector.injected == 0
+
+    def test_rpc_faults_require_manager(self):
+        sim, deployment = _deployment()
+        plan = FaultPlan(rpcs=[RpcFault("drop", step="SEND_METRICS")])
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(plan).attach(deployment)
+
+
+class TestPlanValidation:
+    def test_unknown_control_action(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(control=[ControlFault("explode")]))
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(control=[ControlFault("delay")]))
+
+    def test_unknown_rpc_step(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(rpcs=[RpcFault("drop", step="NOPE")]))
+
+    def test_detach_restores_hooks(self):
+        sim, deployment = _deployment()
+        plan = FaultPlan(
+            control=[ControlFault("drop")], links=[LinkDelay(extra_s=1.0)]
+        )
+        injector = FaultInjector(plan).attach(deployment)
+        injector.detach(deployment)
+        assert all(
+            e.fault_hook is None for e in deployment.all_executors()
+        )
+        assert deployment.cluster.network.fault_hook is None

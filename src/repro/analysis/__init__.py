@@ -5,13 +5,24 @@
   by the Fig. 10–12 experiments.
 - :mod:`~repro.analysis.experiments` — one driver per paper figure;
   also runnable as ``python -m repro.analysis.experiments <figure>``.
-- :mod:`~repro.analysis.report` — plain-text table formatting.
+- :mod:`~repro.analysis.telemetry` — loader for the JSONL telemetry
+  the observability layer exports (spans, snapshots, metric dumps).
+- :mod:`~repro.analysis.report` — plain-text table formatting, plus
+  ``python -m repro.analysis.report <telemetry.jsonl>`` to render a
+  run summary and per-round timelines from exported telemetry.
 """
 
+from repro.analysis.telemetry import SpanRecord, TelemetryLog
 from repro.analysis.trace_eval import (
     EvalResult,
     TwoHopEvaluator,
     weekly_series,
 )
 
-__all__ = ["TwoHopEvaluator", "EvalResult", "weekly_series"]
+__all__ = [
+    "TwoHopEvaluator",
+    "EvalResult",
+    "weekly_series",
+    "TelemetryLog",
+    "SpanRecord",
+]

@@ -292,13 +292,20 @@ def _flickr_run(
     period_s: float = 0.5,
     sample_interval_s: float = 0.05,
     quick: bool = False,
+    telemetry_path: Optional[str] = None,
 ) -> Dict:
     """One Fig. 13-style run: the Flickr application with or without
     periodic reconfiguration; returns the throughput time series.
 
     The paper runs 30 minutes with a 10-minute period; we compress the
-    time axis (duration : period stays 3 : 1).
+    time axis (duration : period stays 3 : 1). When ``telemetry_path``
+    is set, full observability is attached and the run's trace
+    (reconfiguration-round spans, periodic snapshots, metric dump) is
+    exported there as JSONL — render it with
+    ``python -m repro.analysis.report <path>``.
     """
+    from repro.observability import attach_telemetry
+
     # The workload itself is cheap to generate; ``quick`` only trims
     # the experiment grids, never the data realism.
     workload = FlickrWorkload(FlickrConfig())
@@ -314,12 +321,22 @@ def _flickr_run(
             ManagerConfig(period_s=period_s, sketch_capacity=100_000),
         )
         manager.start()
+    telemetry = None
+    if telemetry_path is not None:
+        telemetry = attach_telemetry(
+            deployment,
+            manager=manager,
+            path=telemetry_path,
+            snapshot_interval_s=sample_interval_s,
+        )
     sampler = ThroughputSampler(
         sim, deployment.metrics, "B", sample_interval_s
     )
     sampler.start()
     deployment.start()
     sim.run(until=duration_s)
+    if telemetry is not None:
+        telemetry.flush()
 
     samples = [
         {"time": t, "throughput": rate} for t, rate in sampler.samples
@@ -346,16 +363,24 @@ def fig13(
     paddings: Optional[Sequence[int]] = None,
     parallelism: int = 6,
     quick: bool = False,
+    telemetry_path: Optional[str] = None,
 ) -> List[Dict]:
-    """Throughput over time, with vs without reconfiguration."""
+    """Throughput over time, with vs without reconfiguration.
+
+    ``telemetry_path`` exports the full telemetry of the *first*
+    reconfiguring run (spans, snapshots, metrics) as JSONL for
+    ``python -m repro.analysis.report``.
+    """
     if bandwidths is None:
         bandwidths = (1.0,) if quick else (10.0, 1.0)
     if paddings is None:
         paddings = (4000,) if quick else (4000, 8000, 12000)
     rows = []
+    traced = False
     for bandwidth in bandwidths:
         for padding in paddings:
             for reconfigure in (True, False):
+                trace_here = reconfigure and not traced
                 rows.append(
                     _flickr_run(
                         parallelism,
@@ -363,8 +388,12 @@ def fig13(
                         bandwidth,
                         reconfigure,
                         quick=quick,
+                        telemetry_path=(
+                            telemetry_path if trace_here else None
+                        ),
                     )
                 )
+                traced = traced or trace_here
     return rows
 
 
@@ -427,12 +456,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("figure", choices=sorted(FIGURES) + ["all"])
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--out-dir", default="results")
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="(fig13 only) export the first reconfiguring run's "
+        "telemetry as JSONL; render it with "
+        "'python -m repro.analysis.report PATH'",
+    )
     args = parser.parse_args(argv)
 
     figures = sorted(FIGURES) if args.figure == "all" else [args.figure]
     os.makedirs(args.out_dir, exist_ok=True)
     for name in figures:
-        rows = FIGURES[name](quick=args.quick)
+        kwargs = {"quick": args.quick}
+        if name == "fig13" and args.telemetry:
+            kwargs["telemetry_path"] = args.telemetry
+        rows = FIGURES[name](**kwargs)
         if name == "fig13":
             for row in rows:
                 row.pop("samples", None)

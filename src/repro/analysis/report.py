@@ -1,4 +1,18 @@
-"""Plain-text tables for experiment output (and EXPERIMENTS.md)."""
+"""Plain-text tables for experiment output — and the telemetry report.
+
+Besides the :func:`format_table` primitive the figure drivers use, this
+module renders an exported telemetry file (see
+:mod:`repro.observability` / :mod:`repro.analysis.telemetry`) into a
+human-readable run report::
+
+    python -m repro.analysis.report results/telemetry.jsonl
+
+The report has three parts: a run summary (traffic, locality, routing
+table hit rate, control-plane volume), the snapshot time series, and
+one timeline per reconfiguration round showing each protocol phase
+(STATS_COLLECT → PARTITION → PROPAGATE → MIGRATE) with its duration
+and the terminal COMMIT/ABORT/SKIP/VETO event.
+"""
 
 from __future__ import annotations
 
@@ -45,3 +59,196 @@ def _fmt(value) -> str:
 def ktuples(value: float) -> float:
     """Tuples/s → Ktuples/s, rounded for display."""
     return round(value / 1000.0, 1)
+
+
+# ----------------------------------------------------------------------
+# Telemetry report
+# ----------------------------------------------------------------------
+
+
+def _sum_family(family: Dict) -> float:
+    """Total over a metric family whose values are numbers or dicts of
+    numbers (per-instance callbacks export dicts)."""
+    total = 0.0
+    for value in family.values():
+        if isinstance(value, dict):
+            total += sum(v for v in value.values() if isinstance(v, (int, float)))
+        elif isinstance(value, (int, float)):
+            total += value
+    return total
+
+
+def render_summary(log) -> str:
+    """The run-summary table of :func:`render_report`."""
+    rows: List[Dict] = []
+
+    def add(metric, value, unit=""):
+        rows.append({"metric": metric, "value": value, "unit": unit})
+
+    streams = log.metric_family("stream_traffic")
+    local = sum(v.get("local_tuples", 0) for v in streams.values())
+    remote = sum(v.get("remote_tuples", 0) for v in streams.values())
+    if local + remote:
+        add("tuples routed", local + remote, "tuples")
+        add("overall locality", local / (local + remote), "fraction")
+    for key, counters in sorted(streams.items()):
+        add(f"locality [{key}]", counters.get("locality"), "fraction")
+
+    hits = _sum_family(log.metric_family("routing_table_hits"))
+    fallbacks = _sum_family(log.metric_family("routing_hash_fallbacks"))
+    if hits + fallbacks:
+        add("routing-table hit rate", hits / (hits + fallbacks), "fraction")
+        add("hash fallbacks", int(fallbacks), "lookups")
+
+    network = log.metric("network_bytes_total")
+    if network is not None:
+        add("network volume", network, "bytes")
+    control = log.metric_family("control_bytes")
+    for key, value in sorted(control.items()):
+        if isinstance(value, dict):
+            for kind, nbytes in sorted(value.items()):
+                add(f"control bytes [{kind}]", nbytes, "bytes")
+    migrated = log.metric("migrated_keys_total")
+    if migrated is not None:
+        add("migrated keys", migrated, "keys")
+
+    completed = log.metric("reconf_rounds_completed")
+    aborted = log.metric("reconf_rounds_aborted")
+    if completed is not None:
+        add("rounds completed", completed, "rounds")
+    if aborted is not None:
+        add("rounds aborted", aborted, "rounds")
+
+    latency = log.metric("latency_seconds")
+    if isinstance(latency, dict) and latency.get("count"):
+        add("latency mean", latency["mean"], "s")
+        add("latency p99", latency["p99"], "s")
+
+    if not rows:
+        return "Run summary\n(no metric records — was flush() called?)"
+    return format_table(
+        rows, columns=["metric", "value", "unit"], title="Run summary"
+    )
+
+
+def render_snapshots(log, max_rows: int = 40) -> str:
+    """The snapshot time-series table of :func:`render_report`."""
+    if not log.snapshots:
+        return "Snapshots\n(no snapshot records — probe not armed)"
+    rows = []
+    for snap in log.snapshots:
+        row = {
+            "t": snap.get("ts"),
+            "locality": snap.get("locality"),
+            "win_locality": snap.get("window_locality"),
+            "net_bytes": snap.get("network_bytes"),
+        }
+        for op, rate in sorted((snap.get("throughput") or {}).items()):
+            row[f"tput:{op}"] = ktuples(rate)
+        for op, balance in sorted((snap.get("load_balance") or {}).items()):
+            row[f"bal:{op}"] = balance
+        if "cut_weight" in snap:
+            row["cut_weight"] = snap["cut_weight"]
+        rows.append(row)
+    # Early rows may predate the first plan (no cut_weight yet); take
+    # the column set from every row, not just the first.
+    columns: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    shown = rows[:max_rows]
+    title = "Snapshots (throughput in Ktuples/s)"
+    if len(rows) > len(shown):
+        title += f" — first {len(shown)} of {len(rows)}"
+    return format_table(shown, columns=columns, title=title)
+
+
+def render_rounds(log) -> str:
+    """One timeline block per reconfiguration round."""
+    rounds = log.rounds()
+    if not rounds:
+        return "Reconfiguration rounds\n(no round spans in this trace)"
+    blocks = []
+    for span in rounds:
+        round_id = span.attrs.get("round", "?")
+        status = span.attrs.get("status", "open")
+        duration = (
+            f"{span.duration_s * 1e3:.2f} ms"
+            if span.duration_s is not None
+            else "open"
+        )
+        header = (
+            f"Round {round_id} — {status} "
+            f"(t={span.start:.4f}s, {duration})"
+        )
+        rows = []
+        for child in span.children:
+            phase_duration = (
+                f"{child.duration_s * 1e3:.3f}"
+                if child.duration_s is not None
+                else "open"
+            )
+            detail = ", ".join(
+                f"{k}={_fmt(v)}"
+                for k, v in sorted(child.attrs.items())
+                if k != "status"
+            )
+            rows.append(
+                {
+                    "phase": child.name,
+                    "start_s": child.start,
+                    "ms": phase_duration,
+                    "detail": detail,
+                }
+            )
+        block = [header]
+        if rows:
+            block.append(
+                format_table(rows, columns=["phase", "start_s", "ms", "detail"])
+            )
+        for ts, name, attrs in span.events:
+            detail = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(attrs.items())
+            )
+            block.append(f"  @{ts:.4f}s {name}" + (f" ({detail})" if detail else ""))
+        blocks.append("\n".join(block))
+    return "Reconfiguration rounds\n\n" + "\n\n".join(blocks)
+
+
+def render_report(log) -> str:
+    """Full report: summary + snapshots + per-round timelines."""
+    return "\n\n".join(
+        [render_summary(log), render_snapshots(log), render_rounds(log)]
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    from repro.analysis.telemetry import TelemetryLog
+
+    parser = argparse.ArgumentParser(
+        description="Render a run report from an exported telemetry "
+        "JSONL file (see repro.observability.attach_telemetry)."
+    )
+    parser.add_argument("telemetry", help="path to the .jsonl trace")
+    parser.add_argument(
+        "--max-snapshot-rows",
+        type=int,
+        default=40,
+        help="truncate the snapshot table after this many rows",
+    )
+    args = parser.parse_args(argv)
+
+    log = TelemetryLog.load(args.telemetry)
+    print(render_summary(log))
+    print()
+    print(render_snapshots(log, max_rows=args.max_snapshot_rows))
+    print()
+    print(render_rounds(log))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,182 @@
+"""Load exported telemetry (JSON Lines) back into analyzable objects.
+
+The observability layer (:mod:`repro.observability`) writes four record
+types — ``span_begin``/``span_end``, ``event``, ``snapshot`` and
+``metric`` — documented in DESIGN.md §8.3. This module parses a JSONL
+file (or an in-memory record list) into a :class:`TelemetryLog`:
+begin/end pairs become :class:`SpanRecord` trees, snapshots and metric
+samples become lists, and :meth:`TelemetryLog.rounds` reconstructs the
+per-reconfiguration-round timelines that
+``python -m repro.analysis.report`` renders.
+
+Unpaired spans (a run cut off mid-round) load fine: ``end`` stays
+``None`` and ``duration_s`` is ``None``; the report marks them open.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Attribute keys that belong to the record envelope, not the span.
+_ENVELOPE = {"type", "ts", "span", "parent", "name"}
+
+
+@dataclass
+class SpanRecord:
+    """One reassembled begin/end span."""
+
+    span_id: int
+    name: str
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    #: begin attributes merged with end attributes (end wins)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: point events recorded inside this span: (ts, name, attrs)
+    events: List[tuple] = field(default_factory=list)
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    def child(self, name: str) -> Optional["SpanRecord"]:
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, id={self.span_id}, "
+            f"start={self.start:.6f}, "
+            f"{'open' if self.end is None else f'end={self.end:.6f}'})"
+        )
+
+
+class TelemetryLog:
+    """Every record of one exported run, indexed for analysis."""
+
+    def __init__(self, records: Iterable[Dict[str, Any]]) -> None:
+        self.records: List[Dict[str, Any]] = list(records)
+        self.spans: Dict[int, SpanRecord] = {}
+        self.snapshots: List[Dict[str, Any]] = []
+        self.metrics: List[Dict[str, Any]] = []
+        self._index()
+
+    @classmethod
+    def load(cls, path: str) -> "TelemetryLog":
+        """Parse a JSONL telemetry file."""
+        records = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return cls(records)
+
+    def _index(self) -> None:
+        for record in self.records:
+            kind = record.get("type")
+            if kind == "span_begin":
+                span_id = record["span"]
+                self.spans[span_id] = SpanRecord(
+                    span_id=span_id,
+                    name=record["name"],
+                    parent_id=record.get("parent"),
+                    start=record["ts"],
+                    attrs={
+                        k: v
+                        for k, v in record.items()
+                        if k not in _ENVELOPE
+                    },
+                )
+            elif kind == "span_end":
+                span = self.spans.get(record["span"])
+                if span is not None:
+                    span.end = record["ts"]
+                    span.attrs.update(
+                        {
+                            k: v
+                            for k, v in record.items()
+                            if k not in _ENVELOPE
+                        }
+                    )
+            elif kind == "event":
+                span = self.spans.get(record.get("span"))
+                if span is not None:
+                    span.events.append(
+                        (
+                            record["ts"],
+                            record["name"],
+                            {
+                                k: v
+                                for k, v in record.items()
+                                if k not in _ENVELOPE
+                            },
+                        )
+                    )
+            elif kind == "snapshot":
+                self.snapshots.append(record)
+            elif kind == "metric":
+                self.metrics.append(record)
+        for span in self.spans.values():
+            if span.parent_id is not None:
+                parent = self.spans.get(span.parent_id)
+                if parent is not None:
+                    parent.children.append(span)
+        for span in self.spans.values():
+            span.children.sort(key=lambda s: (s.start, s.span_id))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def roots(self) -> List[SpanRecord]:
+        """Top-level spans, in start order."""
+        return sorted(
+            (s for s in self.spans.values() if s.parent_id is None),
+            key=lambda s: (s.start, s.span_id),
+        )
+
+    def rounds(self) -> List[SpanRecord]:
+        """The reconfiguration-round span trees, in start order."""
+        return [s for s in self.roots() if s.name == "reconfiguration_round"]
+
+    def metric(self, name: str, **labels: str) -> Any:
+        """The (last) exported value of one metric, or None."""
+        wanted = {k: str(v) for k, v in labels.items()}
+        value = None
+        for sample in self.metrics:
+            if sample.get("metric") == name and sample.get(
+                "labels", {}
+            ) == wanted:
+                value = sample.get("value")
+        return value
+
+    def metric_family(self, name: str) -> Dict[str, Any]:
+        """All label-sets of one metric, keyed by a compact label repr."""
+        family = {}
+        for sample in self.metrics:
+            if sample.get("metric") == name:
+                labels = sample.get("labels", {})
+                key = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) or "-"
+                family[key] = sample.get("value")
+        return family
+
+    def __repr__(self) -> str:
+        return (
+            f"TelemetryLog(records={len(self.records)}, "
+            f"spans={len(self.spans)}, snapshots={len(self.snapshots)}, "
+            f"metrics={len(self.metrics)})"
+        )

@@ -97,6 +97,29 @@ class PairTracker:
             sketch.clear()
         self.observed = 0
 
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def sketch_stats(self) -> Dict[str, Dict[str, int]]:
+        """Occupancy and error bound of every sketch, keyed by
+        ``"in_stream|out_stream"`` — how full the SpaceSaving summaries
+        are and how loose their estimates have become (``error_bound``
+        is the sketch's ``N / m`` overestimation cap; 0 for exact
+        counters). Sampled by the telemetry layer between collections.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for (in_stream, out_stream), sketch in self._sketches.items():
+            stats[f"{in_stream}|{out_stream}"] = {
+                "occupancy": len(sketch),
+                "capacity": self.capacity,
+                "observed_weight": getattr(sketch, "n", 0),
+                "error_bound": (
+                    sketch.max_error() if hasattr(sketch, "max_error") else 0
+                ),
+            }
+        return stats
+
     def __repr__(self) -> str:
         return (
             f"PairTracker(op={self.op_name!r}, observed={self.observed}, "

@@ -39,6 +39,8 @@ from repro.engine.executor import ControlMessage, SpoutExecutor
 from repro.engine.grouping import TableFieldsGrouping
 from repro.engine.operators import StatefulBolt
 from repro.errors import ReconfigurationError
+from repro.observability.sink import NULL_SINK
+from repro.observability.trace import Tracer
 from repro.spacesaving import SpaceSaving
 
 
@@ -124,7 +126,23 @@ class Manager:
         #: late RPC/completion callbacks ignored because their round
         #: was aborted or superseded (telemetry)
         self.stale_callbacks = 0
+        #: tracer for per-round span trees; a no-op until
+        #: :meth:`set_telemetry` swaps in a real sink
+        self._tracer = Tracer(lambda: self.sim.now, NULL_SINK)
+        #: live spans of the in-flight round, by phase name
+        self._round_spans: Dict[str, object] = {}
+        self._propagated_outstanding = 0
         self._install()
+        registry = self.deployment.metrics.registry
+        registry.register_callback(
+            "reconf_rounds_completed", lambda: len(self.completed_rounds)
+        )
+        registry.register_callback(
+            "reconf_rounds_aborted", lambda: len(self.aborted_rounds)
+        )
+        registry.register_callback(
+            "reconf_stale_callbacks", lambda: self.stale_callbacks
+        )
 
     # ------------------------------------------------------------------
     # Installation
@@ -199,6 +217,14 @@ class Manager:
     # Public API
     # ------------------------------------------------------------------
 
+    def set_telemetry(self, telemetry) -> None:
+        """Adopt a :class:`~repro.observability.Telemetry`: rounds emit
+        their span tree (STATS_COLLECT → PARTITION → PROPAGATE →
+        MIGRATE, closed by a COMMIT/ABORT/SKIP/VETO event) into its
+        sink. Usually called through
+        :func:`repro.observability.attach_telemetry`."""
+        self._tracer = telemetry.tracer
+
     def start(self) -> None:
         """Arm periodic reconfiguration (config.period_s).
 
@@ -237,6 +263,17 @@ class Manager:
         self._on_round_complete = on_complete
         record = RoundRecord(round_id, started_at=self.sim.now)
         self.rounds.append(record)
+        round_span = self._tracer.begin(
+            "reconfiguration_round", round=round_id
+        )
+        self._round_spans = {
+            "round": round_span,
+            "STATS_COLLECT": self._tracer.begin(
+                "STATS_COLLECT",
+                parent=round_span,
+                pois=len(self._instrumented),
+            ),
+        }
         self._stats = {}
         self._tables_before_round = dict(self.current_tables)
         self._collect_outstanding = len(self._instrumented)
@@ -303,6 +340,9 @@ class Manager:
         record = self.rounds[-1]
         keygraph = KeyGraph.from_stats(self._stats)
         record.collected_pairs = keygraph.num_edges
+        collect_span = self._round_spans.get("STATS_COLLECT")
+        if collect_span is not None:
+            collect_span.end(pairs=keygraph.num_edges)
         if keygraph.num_edges == 0:
             # Nothing observed yet: skip this round.
             record.skipped = True
@@ -310,6 +350,13 @@ class Manager:
             return
 
         num_servers = self._partition_size()
+        partition_span = self._tracer.begin(
+            "PARTITION",
+            parent=self._round_spans.get("round"),
+            edges=keygraph.num_edges,
+            servers=num_servers,
+        )
+        self._round_spans["PARTITION"] = partition_span
         plan = plan_reconfiguration(
             keygraph,
             self._routed_streams,
@@ -320,6 +367,20 @@ class Manager:
             max_edges=self.config.max_edges,
         )
         record.plan = plan
+        cut_weight = (
+            1.0 - plan.predicted_locality
+        ) * keygraph.total_pair_weight
+        registry = self.deployment.metrics.registry
+        registry.gauge("reconf_last_cut_weight").set(cut_weight)
+        registry.gauge("reconf_last_predicted_locality").set(
+            plan.predicted_locality
+        )
+        partition_span.end(
+            predicted_locality=plan.predicted_locality,
+            cut_weight=cut_weight,
+            moved_keys=plan.total_moved_keys(),
+            tables=len(plan.tables),
+        )
 
         if self.config.estimator is not None:
             estimate = self.config.estimator.evaluate(
@@ -354,6 +415,12 @@ class Manager:
         payloads = self._build_payloads(plan)
         self._ack_outstanding = len(payloads)
         self._complete_outstanding = len(payloads)
+        self._propagated_outstanding = len(payloads)
+        self._round_spans["PROPAGATE"] = self._tracer.begin(
+            "PROPAGATE",
+            parent=self._round_spans.get("round"),
+            pois=len(payloads),
+        )
         latency = self.config.rpc_latency_s
         for (op, instance), payload in payloads.items():  # step 3
             agent = self._agents[(op, instance)]
@@ -434,6 +501,7 @@ class Manager:
         self._finish_round(record)
 
     def _finish_round(self, record: RoundRecord) -> None:
+        self._end_round_trace(record)
         self._round_active = False
         if self._deadline is not None:
             self._deadline.cancel()
@@ -441,6 +509,33 @@ class Manager:
         if self._on_round_complete is not None:
             callback, self._on_round_complete = self._on_round_complete, None
             callback(record)
+
+    def _end_round_trace(self, record: RoundRecord) -> None:
+        """Close the round's span tree with its terminal event. Spans
+        already ended on the happy path ignore the extra end()."""
+        spans, self._round_spans = self._round_spans, {}
+        round_span = spans.get("round")
+        if round_span is None:
+            return
+        if record.aborted:
+            status, event = "aborted", "ABORT"
+        elif record.vetoed:
+            status, event = "vetoed", "VETO"
+        elif record.skipped:
+            status, event = "skipped", "SKIP"
+        else:
+            status, event = "committed", "COMMIT"
+        for phase in ("STATS_COLLECT", "PARTITION", "PROPAGATE", "MIGRATE"):
+            span = spans.get(phase)
+            if span is not None:
+                span.end(status=status)
+        attrs = {"status": status}
+        if record.abort_reason:
+            attrs["reason"] = record.abort_reason
+        round_span.event(event, **attrs)
+        round_span.end(
+            status=status, collected_pairs=record.collected_pairs
+        )
 
     def _on_round_deadline(self, round_id: int) -> None:
         if not self._round_active or round_id != self._round_id:
@@ -480,7 +575,21 @@ class Manager:
     # ------------------------------------------------------------------
 
     def notify_propagated(self, agent, round_id: int) -> None:
-        """A POI swapped tables and forwarded PROPAGATE (telemetry)."""
+        """A POI swapped tables and forwarded PROPAGATE. When the last
+        one reports, the PROPAGATE span closes and the MIGRATE span
+        opens (zero-length when no state moves)."""
+        if not self._round_active or round_id != self._round_id:
+            return
+        self._propagated_outstanding -= 1
+        if self._propagated_outstanding == 0:
+            propagate_span = self._round_spans.get("PROPAGATE")
+            if propagate_span is not None:
+                propagate_span.end(status="propagated")
+            self._round_spans["MIGRATE"] = self._tracer.begin(
+                "MIGRATE",
+                parent=self._round_spans.get("round"),
+                pending_pois=self._complete_outstanding,
+            )
 
     def notify_complete(self, agent, round_id: int) -> None:
         """A POI finished the round (propagated + all state received).

@@ -209,6 +209,7 @@ class ReconfigurationAgent:
                 executor.costs.control_message_bytes
                 + executor.costs.state_bytes_per_key * len(keys)
             )
+            executor.metrics.on_keys_migrated(len(keys))
             executor.send_control(self.peers[peer_instance], migrate, size)
 
         forward = lambda dst: executor.send_control(  # noqa: E731
@@ -221,9 +222,11 @@ class ReconfigurationAgent:
             forward(successor)
 
         self._applied_round = payload.round_id
+        # Propagation is reported before a possible completion so the
+        # manager's PROPAGATE phase always closes before the round does.
+        self.manager.notify_propagated(self, payload.round_id)
         if self._migrations >= payload.expected_migrations:
             self._finish_round()
-        self.manager.notify_propagated(self, payload.round_id)
 
     def _on_migrate(self, payload: MigratePayload, sender: str) -> None:
         token = (payload.round_id, sender)

@@ -201,6 +201,7 @@ class BaseExecutor:
         data), so it acts as a barrier."""
         nbytes = self.costs.control_message_bytes if size is None else size
         msg.size = nbytes
+        self.metrics.on_control_sent(msg.kind, nbytes)
         if dst.server.index != self.server.index:
             self.cluster.transfer(
                 self.server, dst.server, nbytes, dst.deliver_control, msg

@@ -209,7 +209,10 @@ class TableRouter(Router):
 
     The table is any object with ``lookup(key) -> Optional[int]``;
     unknown keys fall back to hash routing, as in Section 3.3 of the
-    paper.
+    paper. ``table_hits`` / ``hash_fallbacks`` count the two outcomes —
+    the explicit-vs-fallback split the telemetry layer exports (a high
+    fallback share after a reconfiguration means the routed key set no
+    longer covers the traffic, the Fig. 12 unseen-keys effect).
     """
 
     def __init__(self, key_fn, num_destinations: int, seed: int, table) -> None:
@@ -217,6 +220,8 @@ class TableRouter(Router):
         self._n = num_destinations
         self._seed = seed
         self._table = table
+        self.table_hits = 0
+        self.hash_fallbacks = 0
 
     @property
     def table(self):
@@ -236,7 +241,9 @@ class TableRouter(Router):
                         f"routing table maps {key!r} to instance {instance}, "
                         f"but stream has {self._n} destinations"
                     )
+                self.table_hits += 1
                 return [instance]
+        self.hash_fallbacks += 1
         return [stable_hash(key, self._seed) % self._n]
 
 

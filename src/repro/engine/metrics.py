@@ -4,6 +4,14 @@ The locality metric matches the paper's definition: the fraction of
 tuples on a stream delivered to an instance on the *same server* as the
 sender. Load balance matches Fig. 11b: the ratio between the most
 loaded instance of an operator and the average load.
+
+Every tally lives in (or is registered with) the hub's
+:class:`~repro.observability.registry.MetricRegistry`: per-stream
+:class:`StreamCounters` are registry-owned shared objects, and the
+per-instance dicts are exported through registered callbacks. The
+``locality()`` and ``load_balance()`` computations therefore read the
+exact counters a telemetry exporter samples — there is no second tally
+that could drift or double-count when both paths are enabled.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ import math
 import random
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
+
+from repro.observability.registry import MetricRegistry
 
 
 class LatencyStats:
@@ -105,22 +115,94 @@ class StreamCounters:
         delta.remote_bytes = self.remote_bytes - other.remote_bytes
         return delta
 
+    def telemetry_value(self) -> Dict[str, float]:
+        return {
+            "local_tuples": self.local_tuples,
+            "remote_tuples": self.remote_tuples,
+            "local_bytes": self.local_bytes,
+            "remote_bytes": self.remote_bytes,
+            "locality": self.locality(),
+        }
+
+
+class _StreamMap(dict):
+    """``stream name → StreamCounters`` where every value is owned by
+    the metric registry (``stream_traffic`` family), so the hub and a
+    telemetry exporter share one counter object per stream."""
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        super().__init__()
+        self._registry = registry
+
+    def __missing__(self, name: str) -> StreamCounters:
+        counters = self._registry.state(
+            "stream_traffic", StreamCounters, stream=name
+        )
+        self[name] = counters
+        return counters
+
 
 class MetricsHub:
-    """Central registry all executors report into."""
+    """Central tally store all executors report into.
 
-    def __init__(self) -> None:
+    The hub owns (or is handed) the run's
+    :class:`~repro.observability.registry.MetricRegistry` and keeps its
+    tallies inside it: stream counters are registry ``state`` objects,
+    per-instance dicts are exported through registry callbacks. See the
+    module docstring for why this matters.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
         self.emitted: Dict[Tuple[str, int], int] = defaultdict(int)
         self.processed: Dict[Tuple[str, int], int] = defaultdict(int)
         self.received: Dict[Tuple[str, int], int] = defaultdict(int)
-        self.streams: Dict[str, StreamCounters] = defaultdict(StreamCounters)
+        #: per-stream traffic; values are registry-owned StreamCounters
+        self.streams: Dict[str, StreamCounters] = _StreamMap(self.registry)
         self.dropped: Dict[str, int] = defaultdict(int)
         #: injected faults by action (fed by repro.faults.FaultInjector)
         self.faults: Dict[str, int] = defaultdict(int)
+        #: control-plane messages/bytes by kind (PROPAGATE, MIGRATE, …)
+        self.control_messages: Dict[str, int] = defaultdict(int)
+        self.control_bytes: Dict[str, int] = defaultdict(int)
+        #: keys shipped between peers by MIGRATE messages
+        self.migrated_keys = 0
         #: reconfiguration rounds aborted on deadline (fed by Manager)
         self.rounds_aborted = 0
         #: end-to-end latency of completed tuple trees (fed by the acker)
         self.latency = LatencyStats()
+        self._export_tallies()
+
+    def _export_tallies(self) -> None:
+        """Register the dict tallies with the registry so an exporter
+        samples the same stores the hub computes from."""
+        per_instance = lambda tally: {  # noqa: E731
+            f"{op}[{i}]": count for (op, i), count in sorted(tally.items())
+        }
+        register = self.registry.register_callback
+        register("operator_emitted_tuples", lambda: per_instance(self.emitted))
+        register(
+            "operator_processed_tuples", lambda: per_instance(self.processed)
+        )
+        register(
+            "operator_received_tuples", lambda: per_instance(self.received)
+        )
+        register("dropped_tuples", lambda: dict(self.dropped))
+        register("faults_injected", lambda: dict(self.faults))
+        register("control_messages", lambda: dict(self.control_messages))
+        register("control_bytes", lambda: dict(self.control_bytes))
+        register("migrated_keys_total", lambda: self.migrated_keys)
+        register("rounds_aborted_total", lambda: self.rounds_aborted)
+        register(
+            "latency_seconds",
+            lambda: {
+                "count": self.latency.count,
+                "mean": self.latency.mean,
+                "p50": self.latency.percentile(0.50),
+                "p99": self.latency.percentile(0.99),
+                "max": self.latency.max,
+            },
+        )
 
     # -- reporting (hot path, called by executors) ----------------------
 
@@ -144,6 +226,13 @@ class MetricsHub:
 
     def on_fault(self, action: str) -> None:
         self.faults[action] += 1
+
+    def on_control_sent(self, kind: str, nbytes: int) -> None:
+        self.control_messages[kind] += 1
+        self.control_bytes[kind] += nbytes
+
+    def on_keys_migrated(self, count: int) -> None:
+        self.migrated_keys += count
 
     def on_round_aborted(self) -> None:
         self.rounds_aborted += 1
@@ -218,11 +307,11 @@ class ThroughputSampler:
 
     def start(self) -> None:
         self._last_total = self._metrics.processed_total(self._op)
-        self._sim.schedule(self._interval, self._tick)
+        self._sim.schedule(self._interval, self._tick, daemon=True)
 
     def _tick(self) -> None:
         total = self._metrics.processed_total(self._op)
         rate = (total - self._last_total) / self._interval
         self._last_total = total
         self.samples.append((self._sim.now, rate))
-        self._sim.schedule(self._interval, self._tick)
+        self._sim.schedule(self._interval, self._tick, daemon=True)

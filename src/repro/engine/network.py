@@ -124,6 +124,11 @@ class Network:
         self._nics: dict = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: per-link transfer volume: (src server, dst server) → bytes —
+        #: lets telemetry attribute wire traffic (e.g. a migration
+        #: burst) to the specific link that carried it
+        self.link_bytes: dict = {}
+        self.link_messages: dict = {}
         #: optional hook ``fn(src, dst, nbytes, fn, args) -> float``
         #: returning extra propagation latency (seconds) for this
         #: transfer; None or 0.0 leaves the transfer untouched. Extra
@@ -159,6 +164,9 @@ class Network:
             )
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        link = (src.index, dst.index)
+        self.link_bytes[link] = self.link_bytes.get(link, 0) + nbytes
+        self.link_messages[link] = self.link_messages.get(link, 0) + 1
         latency = self.latency_between(src, dst)
         if self.fault_hook is not None:
             extra = self.fault_hook(src, dst, nbytes, fn, args)

@@ -18,14 +18,22 @@ class Event:
     """A scheduled callback. Returned by :meth:`Simulator.schedule` so
     callers can cancel it."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable,
+        args: tuple,
+        daemon: bool = False,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.daemon = daemon
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -48,6 +56,9 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._executed = 0
+        #: queued non-daemon events (cancelled ones are counted until
+        #: their heap entry is popped — cancellation is lazy)
+        self._live = 0
         #: optional hook ``fn(event) -> bool`` consulted before each
         #: event runs; returning False consumes the event (it neither
         #: executes nor counts). Used by repro.faults to drop or defer
@@ -68,24 +79,48 @@ class Simulator:
     def pending_events(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 
+    def stats(self) -> dict:
+        """Event-loop health counters, exported by the telemetry layer
+        (a large ``pending`` at flush time means the run was cut off
+        mid-transient; ``intercepted`` counts fault-consumed events)."""
+        return {
+            "now": self._now,
+            "events_executed": self._executed,
+            "events_pending": self.pending_events,
+            "events_intercepted": self.intercepted,
+        }
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, fn: Callable, *args: Any, daemon: bool = False
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``daemon`` events never keep the loop alive: a drain-style
+        :meth:`run` (no ``until``) stops once only daemon events remain.
+        Use it for self-rescheduling periodic probes (samplers,
+        telemetry snapshots) that would otherwise make a drain run
+        forever.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        return self.schedule_at(self._now + delay, fn, *args, daemon=daemon)
 
-    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+    def schedule_at(
+        self, time: float, fn: Callable, *args: Any, daemon: bool = False
+    ) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, daemon=daemon)
         self._seq += 1
+        if not daemon:
+            self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -97,6 +132,8 @@ class Simulator:
         """Run the next event. Returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            if not event.daemon:
+                self._live -= 1
             if event.cancelled:
                 continue
             self._now = event.time
@@ -116,21 +153,31 @@ class Simulator:
         """Run events until the queue drains, the clock passes ``until``,
         or ``max_events`` have executed. Returns the number executed.
 
+        Daemon events (see :meth:`schedule`) don't count as work: a
+        drain run (``until=None``) stops as soon as only daemon events
+        remain queued.
+
         When stopping at ``until``, the clock is advanced to exactly
         ``until`` (events after it stay queued).
         """
         executed = 0
         heap = self._heap
         while heap:
+            if until is None and self._live <= 0:
+                break
             event = heap[0]
             if event.cancelled:
                 heapq.heappop(heap)
+                if not event.daemon:
+                    self._live -= 1
                 continue
             if until is not None and event.time > until:
                 break
             if max_events is not None and executed >= max_events:
                 break
             heapq.heappop(heap)
+            if not event.daemon:
+                self._live -= 1
             self._now = event.time
             if self.interceptor is not None and not self.interceptor(event):
                 self.intercepted += 1

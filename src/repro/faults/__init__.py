@@ -7,7 +7,41 @@ slow links, crashing POIs — so tests can demonstrate that the
 protocol's no-tuple-loss / no-count-misplaced invariant (Section 3.4)
 and the manager's round-deadline recovery hold under all of them.
 
-See DESIGN.md §7 for the knob reference and abort semantics.
+A :class:`~repro.faults.plan.FaultPlan` is a declarative list of
+deterministic rules; :class:`~repro.faults.injector.FaultInjector`
+binds it to the engine's three opt-in interception hooks (control
+delivery, simulator RPC events, network wire latency) plus scheduled
+crashes. Unattached, every hook is a no-op — like the observability
+layer, chaos costs nothing unless a run opts in. The rule types:
+
+- :class:`~repro.faults.plan.ControlFault` — drop / delay / duplicate
+  / reorder / crash-on-arrival for in-band PROPAGATE and MIGRATE
+  deliveries, filtered by kind, destination and round;
+- :class:`~repro.faults.plan.RpcFault` — drop or delay one leg of the
+  out-of-band manager↔POI RPCs (GET_METRICS … ACK_RECONF);
+- :class:`~repro.faults.plan.LinkDelay` — extra latency between
+  chosen servers, which reorders deliveries across senders;
+- :class:`~repro.faults.plan.CrashAt` — POI crash/restart at a given
+  simulated time, reusing the engine's crash machinery.
+
+Typical use::
+
+    from repro.faults import ControlFault, FaultInjector, FaultPlan
+
+    plan = FaultPlan(control=[
+        ControlFault(action="drop", kind="PROPAGATE", max_matches=1),
+    ])
+    injector = FaultInjector(plan).attach(deployment, manager)
+    # ... run; the manager's round deadline aborts the wedged round,
+    # rolls routing back, and a later round succeeds. injector.log
+    # records what fired, when, where.
+
+Every fault the protocol absorbs is tallied in
+``ReconfigurationAgent.anomalies`` and exported by the telemetry layer
+as ``faults_injected`` (DESIGN.md §8.2). The chaos matrix in
+``tests/faults/test_chaos_matrix.py`` sweeps all rule types against
+the state-total invariant; knob reference and abort semantics are in
+DESIGN.md §7.
 """
 
 from repro.faults.injector import FaultInjector

@@ -1,0 +1,258 @@
+"""The metric registry: named counters, gauges and bounded histograms.
+
+One :class:`MetricRegistry` per run is the single store every layer
+publishes into — the engine's :class:`~repro.engine.metrics.MetricsHub`
+keeps its tallies *inside* the registry (as registered stat objects and
+callbacks), so an exporter reading the registry and the hub's own
+locality / load-balance computations see the same counters. There is no
+second tally to drift or double-count.
+
+Design constraints, in order:
+
+1. **Hot-path cost.** ``Counter.inc`` is one attribute add; acquiring a
+   metric (``registry.counter(...)``) is the slow path and is meant to
+   be done once and cached by the publisher. Nothing in this module
+   allocates per observation.
+2. **Bounded memory.** Histograms use fixed bucket boundaries; label
+   sets are expected to be low-cardinality (operators, streams, links).
+3. **No dependencies.** Export is a plain list of dict samples that the
+   JSONL sink serializes (see :mod:`repro.observability.sink`).
+
+Metric names follow ``<subsystem>_<quantity>_<unit>`` (catalog in
+DESIGN.md §8.2); labels are keyword arguments.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (tuples, bytes, messages)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def telemetry_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (occupancy, depth, last-round quantities)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def telemetry_value(self) -> float:
+        return self.value
+
+
+#: Default histogram boundaries: decades from 1 µs to 100 s — wide
+#: enough for both latencies (seconds) and sizes (bytes) in this repo.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+class Histogram:
+    """A bounded histogram: fixed bucket boundaries, constant memory.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    is the overflow bucket. Mean and an interpolation-free quantile
+    estimate come from the bucket counts, so no samples are retained
+    (unlike :class:`repro.engine.metrics.LatencyStats`, which keeps a
+    reservoir — this one is for export, not precise percentiles).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def telemetry_value(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": dict(zip(self.bounds, self.counts)),
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricRegistry:
+    """Get-or-create store for every metric of one run.
+
+    Besides plain counters/gauges/histograms, two mechanisms let other
+    layers keep *their* structures as the single source of truth:
+
+    - :meth:`state` registers an arbitrary stat object (anything with a
+      ``telemetry_value()`` method, e.g. the engine's per-stream
+      :class:`~repro.engine.metrics.StreamCounters`) under a metric
+      name, so the owner and the exporter share one object;
+    - :meth:`register_callback` registers a zero-argument callable
+      sampled at collection time (for tallies too hot to wrap).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], Any] = {}
+        self._kinds: Dict[str, str] = {}
+        self._callbacks: Dict[Tuple[str, LabelKey], Callable[[], Any]] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(name, "counter", Counter, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(name, "gauge", Gauge, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, "histogram", lambda: Histogram(buckets), labels
+        )
+
+    def state(self, name: str, factory: Callable[[], Any], **labels: Any):
+        """Get-or-create an arbitrary shared stat object (must expose
+        ``telemetry_value()``)."""
+        return self._get_or_create(name, "state", factory, labels)
+
+    def register_callback(
+        self, name: str, fn: Callable[[], Any], **labels: Any
+    ) -> None:
+        """Register (or replace) a sampled-at-collect callback."""
+        self._kinds.setdefault(name, "callback")
+        self._check_kind(name, "callback")
+        self._callbacks[(name, _label_key(labels))] = fn
+
+    def _get_or_create(self, name, kind, factory, labels):
+        self._kinds.setdefault(name, kind)
+        self._check_kind(name, kind)
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        if self._kinds[name] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{self._kinds[name]}, not {kind}"
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    def get(self, name: str, **labels: Any):
+        """The metric object under (name, labels), or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def states(self, name: str) -> List[Tuple[Dict[str, str], Any]]:
+        """All (labels, object) entries registered under ``name``."""
+        return [
+            (dict(key[1]), metric)
+            for key, metric in self._metrics.items()
+            if key[0] == name
+        ]
+
+    def __len__(self) -> int:
+        return len(self._metrics) + len(self._callbacks)
+
+    # -- export ----------------------------------------------------------
+
+    def collect(self) -> List[Dict[str, Any]]:
+        """Sample every metric into export records (sorted by name then
+        labels, so exports are deterministic)."""
+        samples = []
+        for (name, labels), metric in self._metrics.items():
+            samples.append(
+                {
+                    "metric": name,
+                    "kind": self._kinds[name],
+                    "labels": dict(labels),
+                    "value": metric.telemetry_value(),
+                }
+            )
+        for (name, labels), fn in self._callbacks.items():
+            samples.append(
+                {
+                    "metric": name,
+                    "kind": "gauge",
+                    "labels": dict(labels),
+                    "value": fn(),
+                }
+            )
+        samples.sort(key=lambda s: (s["metric"], sorted(s["labels"].items())))
+        return samples
+
+    def value(self, name: str, **labels: Any):
+        """Convenience: the sampled value of one metric (callbacks
+        included), or None when absent."""
+        metric = self.get(name, **labels)
+        if metric is not None:
+            return metric.telemetry_value()
+        fn = self._callbacks.get((name, _label_key(labels)))
+        return fn() if fn is not None else None

@@ -1,0 +1,92 @@
+"""Telemetry sinks: where trace events, snapshots and metric dumps go.
+
+A sink receives plain-dict records and owns their serialization. The
+default everywhere is :data:`NULL_SINK`, whose ``emit`` is a no-op —
+instrumented code pays nothing unless a run opts in by passing a
+:class:`JsonlSink` (files, the exchange format ``repro.analysis``
+loads) or a :class:`MemorySink` (tests).
+
+Record shapes (the JSONL schema, also documented in DESIGN.md §8.3):
+
+- ``{"type": "span_begin", "ts", "span", "parent", "name", ...attrs}``
+- ``{"type": "span_end",   "ts", "span", "name", ...attrs}``
+- ``{"type": "event",      "ts", "span", "name", ...attrs}``
+- ``{"type": "snapshot",   "ts", ...sampled series}``
+- ``{"type": "metric",     "ts", "metric", "kind", "labels", "value"}``
+
+Every record carries ``ts``, the *simulated* clock in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+class TelemetrySink:
+    """Interface: accepts records; may buffer until :meth:`close`."""
+
+    #: False only on the null sink — publishers with per-record cost
+    #: beyond a dict literal may check this before building the record.
+    enabled = True
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(TelemetrySink):
+    """Discards everything (the opt-out default)."""
+
+    enabled = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+#: Shared no-op sink instance.
+NULL_SINK = NullSink()
+
+
+class MemorySink(TelemetrySink):
+    """Keeps records in a list — for tests and in-process analysis."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(TelemetrySink):
+    """Writes one JSON object per line to ``path``.
+
+    Records are buffered and written on :meth:`close` (or every
+    ``flush_every`` records), so a simulated hot loop never blocks on
+    file I/O. Non-JSON-serializable attribute values are stringified
+    rather than raising — telemetry must never take down a run.
+    """
+
+    def __init__(self, path: str, flush_every: int = 10_000) -> None:
+        self.path = path
+        self._buffer: List[str] = []
+        self._flush_every = max(1, flush_every)
+        self._handle: Optional[Any] = open(path, "w")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._buffer.append(json.dumps(record, default=str))
+        if len(self._buffer) >= self._flush_every:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffer and self._handle is not None:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._flush()
+            self._handle.close()
+            self._handle = None

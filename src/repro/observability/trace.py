@@ -1,0 +1,119 @@
+"""Structured tracing: begin/end spans with parent ids.
+
+A *span* is a named interval of simulated time; spans nest through
+``parent`` ids, forming per-round trees like::
+
+    reconfiguration_round (round=3)
+    ├── STATS_COLLECT
+    ├── PARTITION
+    ├── PROPAGATE
+    └── MIGRATE
+
+The manager emits exactly that tree (see ``core.manager``); anything
+else may open spans too. Point occurrences (COMMIT, ABORT, veto) are
+*events* attached to a span. Records go to the telemetry sink as JSON
+Lines and are reloaded by :mod:`repro.analysis.telemetry`.
+
+Timestamps are the simulator clock — a ``clock()`` callable supplied at
+construction — so traces align exactly with snapshots and metrics.
+
+With the default :data:`~repro.observability.sink.NULL_SINK` the tracer
+still hands out real span ids (cheap: one integer) but emits nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.observability.sink import NULL_SINK, TelemetrySink
+
+
+class Span:
+    """A live span handle: ``end()`` it exactly once."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "start", "ended")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.ended = False
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point occurrence inside this span."""
+        self.tracer._emit(
+            {"type": "event", "span": self.span_id, "name": name, **attrs}
+        )
+
+    def end(self, **attrs: Any) -> None:
+        """Close the span (idempotent; duplicates are ignored so an
+        abort path may end a span the happy path would also end)."""
+        if self.ended:
+            return
+        self.ended = True
+        self.tracer._emit(
+            {
+                "type": "span_end",
+                "span": self.span_id,
+                "name": self.name,
+                **attrs,
+            }
+        )
+
+    def __repr__(self) -> str:
+        state = "ended" if self.ended else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class Tracer:
+    """Emits span/event records, stamped with the simulated clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        sink: TelemetrySink = NULL_SINK,
+    ) -> None:
+        self._clock = clock
+        self._sink = sink
+        self._next_id = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self._sink.enabled
+
+    def begin(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> Span:
+        span_id = self._next_id
+        self._next_id += 1
+        span = Span(
+            self,
+            span_id,
+            parent.span_id if parent is not None else None,
+            name,
+            self._clock(),
+        )
+        self._emit(
+            {
+                "type": "span_begin",
+                "span": span_id,
+                "parent": span.parent_id,
+                "name": name,
+                **attrs,
+            }
+        )
+        return span
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._sink.enabled:
+            record["ts"] = self._clock()
+            self._sink.emit(record)

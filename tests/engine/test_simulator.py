@@ -109,3 +109,37 @@ def test_clock_is_monotone(delays):
     sim.run()
     assert times == sorted(times)
     assert len(times) == len(delays)
+
+
+def test_daemon_events_do_not_keep_a_drain_alive():
+    """A self-rescheduling daemon probe must not make run() (no until)
+    run forever — it stops once only daemon events remain."""
+    sim = Simulator()
+    ticks = []
+
+    def probe():
+        ticks.append(sim.now)
+        sim.schedule(1.0, probe, daemon=True)
+
+    sim.schedule(1.0, probe, daemon=True)
+    sim.schedule(3.5, lambda: None)  # the only real work
+    sim.run()
+    assert sim.now == 3.5
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_daemon_events_run_within_a_bounded_run():
+    sim = Simulator()
+    ticks = []
+    sim.schedule(1.0, lambda: ticks.append("d"), daemon=True)
+    sim.run(until=2.0)
+    assert ticks == ["d"]
+
+
+def test_cancelled_event_does_not_block_daemon_drain():
+    sim = Simulator()
+    event = sim.schedule(5.0, lambda: None)
+    sim.schedule(1.0, lambda: None, daemon=True)
+    event.cancel()
+    sim.run()
+    assert sim.now <= 5.0

@@ -1,0 +1,136 @@
+"""Unit tests: the metric registry (counters, gauges, histograms,
+shared state objects, callback collectors, deterministic export)."""
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.telemetry_value() == 6
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(3.5)
+        g.inc(0.5)
+        g.dec(1.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 2.0, 20.0, 200.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(222.5)
+        assert h.mean == pytest.approx(222.5 / 4)
+        assert h.min == 0.5
+        assert h.max == 200.0
+
+    def test_quantile_uses_bucket_bounds(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(50.0)
+        assert h.quantile(0.5) <= 1.0
+        assert h.quantile(0.999) > 10.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.99) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_telemetry_value_shape(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.5)
+        h.observe(9.0)
+        value = h.telemetry_value()
+        assert value["count"] == 2
+        assert value["buckets"] == {1.0: 0, 2.0: 1}
+        assert value["overflow"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricRegistry()
+        a = reg.counter("tuples", op="A")
+        b = reg.counter("tuples", op="A")
+        assert a is b
+        assert reg.counter("tuples", op="B") is not a
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricRegistry()
+        a = reg.counter("x", op="A", instance=0)
+        b = reg.counter("x", instance=0, op="A")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.register_callback("x", lambda: 0)
+
+    def test_state_objects_are_shared(self):
+        class Tally:
+            def __init__(self):
+                self.n = 0
+
+            def telemetry_value(self):
+                return self.n
+
+        reg = MetricRegistry()
+        one = reg.state("tally", Tally, stream="A->B")
+        two = reg.state("tally", Tally, stream="A->B")
+        assert one is two
+        one.n = 7
+        assert reg.value("tally", stream="A->B") == 7
+        assert reg.states("tally") == [({"stream": "A->B"}, one)]
+
+    def test_callback_sampled_at_collect(self):
+        reg = MetricRegistry()
+        box = {"n": 1}
+        reg.register_callback("box", lambda: box["n"], kind_of="test")
+        box["n"] = 42
+        samples = reg.collect()
+        assert samples == [
+            {
+                "metric": "box",
+                "kind": "gauge",
+                "labels": {"kind_of": "test"},
+                "value": 42,
+            }
+        ]
+        assert reg.value("box", kind_of="test") == 42
+
+    def test_collect_is_sorted_and_complete(self):
+        reg = MetricRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a", op="Z").inc(1)
+        reg.counter("a", op="A").inc(3)
+        names = [(s["metric"], s["labels"]) for s in reg.collect()]
+        assert names == [
+            ("a", {"op": "A"}),
+            ("a", {"op": "Z"}),
+            ("b", {}),
+        ]
+
+    def test_value_of_missing_metric(self):
+        reg = MetricRegistry()
+        assert reg.get("nope") is None
+        assert reg.value("nope") is None

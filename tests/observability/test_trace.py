@@ -1,0 +1,96 @@
+"""Unit tests: tracer/span lifecycle and the telemetry sinks."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    JsonlSink,
+    MemorySink,
+    NULL_SINK,
+    Tracer,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_span_lifecycle_records(self):
+        clock, sink = FakeClock(), MemorySink()
+        tracer = Tracer(clock, sink)
+
+        root = tracer.begin("round", round=1)
+        clock.now = 0.5
+        child = tracer.begin("PARTITION", parent=root)
+        child.event("note", detail="x")
+        clock.now = 0.75
+        child.end(status="ok")
+        clock.now = 1.0
+        root.end()
+
+        types = [r["type"] for r in sink.records]
+        assert types == [
+            "span_begin", "span_begin", "event", "span_end", "span_end",
+        ]
+        begin_root, begin_child, event, end_child, end_root = sink.records
+        assert begin_root["name"] == "round"
+        assert begin_root["round"] == 1
+        assert begin_root["parent"] is None
+        assert begin_child["parent"] == begin_root["span"]
+        assert event["span"] == begin_child["span"]
+        assert event["detail"] == "x"
+        assert end_child["status"] == "ok"
+        assert end_child["ts"] == 0.75
+        assert end_root["ts"] == 1.0
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = Tracer(FakeClock(), MemorySink())
+        ids = [tracer.begin(f"s{i}").span_id for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_end_is_idempotent(self):
+        sink = MemorySink()
+        tracer = Tracer(FakeClock(), sink)
+        span = tracer.begin("x")
+        span.end(status="done")
+        span.end(status="again")
+        ends = [r for r in sink.records if r["type"] == "span_end"]
+        assert len(ends) == 1
+        assert ends[0]["status"] == "done"
+
+    def test_null_sink_emits_nothing_but_ids_still_flow(self):
+        tracer = Tracer(FakeClock(), NULL_SINK)
+        a = tracer.begin("a")
+        b = tracer.begin("b", parent=a)
+        b.event("e")
+        b.end()
+        a.end()
+        assert not tracer.enabled
+        assert b.parent_id == a.span_id
+
+
+class TestJsonlSink:
+    def test_round_trip_and_flush_on_close(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(str(path), flush_every=1000)
+        sink.emit({"type": "event", "name": "x", "ts": 0.1})
+        sink.emit({"type": "snapshot", "ts": 0.2})
+        sink.close()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["type"] for l in lines] == [
+            "event", "snapshot",
+        ]
+
+    def test_non_serializable_values_fall_back_to_str(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"type": "event", "obj": object()})
+        sink.close()
+        record = json.loads(path.read_text().strip())
+        assert isinstance(record["obj"], str)

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Dead-link check for the repo's documentation (the CI docs gate).
+
+Scans the top-level Markdown files for three kinds of internal
+references and fails when any points at nothing:
+
+1. Markdown links ``[text](target)`` whose target is a relative path
+   (external ``http(s)://`` links are not checked — CI is offline);
+2. backtick-quoted repo paths like ``src/repro/engine/metrics.py``,
+   ``examples/quickstart.py`` or ``benchmarks/bench_fig13.py``
+   (``results/*.txt`` are checked only when ``--require-results`` is
+   given, since results are regenerated artifacts);
+3. section cross-references of the form ``DESIGN.md §N`` — the target
+   file must contain a ``## N.`` heading.
+
+Module references like ``repro.observability`` are resolved against
+``src/``. Exit status 0 = clean, 1 = dead links (each printed as
+``file:line: message``).
+
+Run:  python tools/check_doc_links.py  [--require-results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+]
+
+MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)[^)]*\)")
+#: backtick path: at least one slash, a known top dir, a file-ish tail
+CODE_PATH = re.compile(
+    r"`((?:src|examples|benchmarks|tests|tools|results)/[\w./\-*]+)`"
+)
+SECTION_REF = re.compile(r"(\w+\.md) §(\d+)")
+MODULE_REF = re.compile(r"`(repro(?:\.\w+)+)`")
+
+
+def _exists(rel: str) -> bool:
+    return os.path.exists(os.path.join(REPO, rel))
+
+
+def _module_exists(dotted: str) -> bool:
+    # Tolerate trailing class/attribute parts (capitalized, e.g.
+    # repro.analysis.telemetry.TelemetryLog): strip them first.
+    parts = dotted.split(".")
+    while len(parts) > 1 and parts[-1][:1].isupper():
+        parts.pop()
+    base = os.path.join(REPO, "src", *parts)
+    return os.path.isdir(base) or os.path.isfile(base + ".py")
+
+
+def _section_exists(md_file: str, number: str) -> bool:
+    path = os.path.join(REPO, md_file)
+    if not os.path.isfile(path):
+        return False
+    with open(path) as handle:
+        return any(
+            re.match(rf"##+ {number}[.\s]", line) for line in handle
+        )
+
+
+def check_file(rel: str, require_results: bool) -> list:
+    problems = []
+    with open(os.path.join(REPO, rel)) as handle:
+        for lineno, line in enumerate(handle, 1):
+            for match in MD_LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if not _exists(target):
+                    problems.append(
+                        f"{rel}:{lineno}: dead link target {target!r}"
+                    )
+            for match in CODE_PATH.finditer(line):
+                target = match.group(1)
+                if target.startswith("results/") and not require_results:
+                    continue
+                if "*" in target or "NN" in target:
+                    # glob mention or figNN-style placeholder
+                    continue
+                if not _exists(target):
+                    problems.append(
+                        f"{rel}:{lineno}: missing path {target!r}"
+                    )
+            for match in SECTION_REF.finditer(line):
+                md_file, number = match.groups()
+                if md_file not in DOC_FILES:
+                    continue
+                if not _section_exists(md_file, number):
+                    problems.append(
+                        f"{rel}:{lineno}: {md_file} has no section "
+                        f"§{number}"
+                    )
+            for match in MODULE_REF.finditer(line):
+                dotted = match.group(1)
+                if not _module_exists(dotted):
+                    problems.append(
+                        f"{rel}:{lineno}: unknown module {dotted!r}"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--require-results",
+        action="store_true",
+        help="also require referenced results/*.txt files to exist",
+    )
+    args = parser.parse_args(argv)
+
+    problems = []
+    for rel in DOC_FILES:
+        if _exists(rel):
+            problems.extend(check_file(rel, args.require_results))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} dead doc link(s)")
+        return 1
+    print(f"doc links OK ({', '.join(f for f in DOC_FILES if _exists(f))})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

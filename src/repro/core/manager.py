@@ -91,6 +91,9 @@ class RoundRecord:
     aborted: bool = False
     aborted_at: Optional[float] = None
     abort_reason: str = ""
+    #: the key graph this round partitioned (None for skipped rounds);
+    #: kept so invariant checkers can audit the balance constraint
+    keygraph: Optional[object] = field(default=None, repr=False)
 
     @property
     def duration_s(self) -> Optional[float]:
@@ -126,6 +129,10 @@ class Manager:
         #: late RPC/completion callbacks ignored because their round
         #: was aborted or superseded (telemetry)
         self.stale_callbacks = 0
+        #: observers called with the RoundRecord every time a round
+        #: finishes (completed, aborted, skipped or vetoed) — the seam
+        #: repro.testing's invariant checkers hook
+        self.round_observers: List[Callable[[RoundRecord], None]] = []
         #: tracer for per-round span trees; a no-op until
         #: :meth:`set_telemetry` swaps in a real sink
         self._tracer = Tracer(lambda: self.sim.now, NULL_SINK)
@@ -298,6 +305,16 @@ class Manager:
     def aborted_rounds(self) -> List[RoundRecord]:
         return [r for r in self.rounds if r.aborted]
 
+    @property
+    def agents(self) -> Dict[Tuple[str, int], ReconfigurationAgent]:
+        """The installed per-POI protocol agents, by (op, instance)."""
+        return dict(self._agents)
+
+    @property
+    def routed_streams(self) -> List[RoutedStream]:
+        """The table-routed streams under management."""
+        return list(self._routed_streams)
+
     # ------------------------------------------------------------------
     # Round internals
     # ------------------------------------------------------------------
@@ -340,6 +357,7 @@ class Manager:
         record = self.rounds[-1]
         keygraph = KeyGraph.from_stats(self._stats)
         record.collected_pairs = keygraph.num_edges
+        record.keygraph = keygraph
         collect_span = self._round_spans.get("STATS_COLLECT")
         if collect_span is not None:
             collect_span.end(pairs=keygraph.num_edges)
@@ -506,6 +524,8 @@ class Manager:
         if self._deadline is not None:
             self._deadline.cancel()
             self._deadline = None
+        for observer in self.round_observers:
+            observer(record)
         if self._on_round_complete is not None:
             callback, self._on_round_complete = self._on_round_complete, None
             callback(record)

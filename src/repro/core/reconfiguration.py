@@ -152,11 +152,9 @@ class ReconfigurationAgent:
         self._pending = None
         self._propagated_from = set()
         self._migrations = 0
-        executor = self.executor
-        held = getattr(executor, "held_keys", None)
-        if held:
-            for key in held:
-                executor.release_key(key)
+        release_all = getattr(self.executor, "release_all_held", None)
+        if release_all is not None:
+            release_all()
 
     # ------------------------------------------------------------------
     # In-band control messages (PROPAGATE / MIGRATE)

@@ -271,8 +271,11 @@ class BoltExecutor(BaseExecutor):
         super().__init__(*args, **kwargs)
         self._queue: deque = deque()
         self._busy = False
-        #: keys whose state is expected from a peer; tuples buffered
-        self._held_keys: set = set()
+        #: keys whose state is expected from a peer; tuples buffered.
+        #: A dict (not a set) so iteration follows insertion order —
+        #: set order depends on PYTHONHASHSEED for string keys, which
+        #: would make the abort-path bulk release non-replayable.
+        self._held_keys: Dict[Any, None] = {}
         self._held_tuples: Dict[Any, List[tuple]] = {}
         self.buffered_count = 0
         self._crashed = False
@@ -326,17 +329,24 @@ class BoltExecutor(BaseExecutor):
     def hold_keys(self, keys) -> None:
         """Buffer incoming tuples for ``keys`` until their state arrives
         (Section 3.4: the stream is not suspended during migration)."""
-        self._held_keys.update(keys)
+        for key in keys:
+            self._held_keys[key] = None
 
     def release_key(self, key) -> None:
         """State for ``key`` arrived: replay its buffered tuples, in
         order, ahead of anything else in the queue."""
-        self._held_keys.discard(key)
+        self._held_keys.pop(key, None)
         buffered = self._held_tuples.pop(key, [])
         for item in reversed(buffered):
             self._queue.appendleft(item)
         if buffered:
             self._maybe_start()
+
+    def release_all_held(self) -> None:
+        """Release every held key, in the order they were held (the
+        abort path; deterministic regardless of key hashing)."""
+        for key in list(self._held_keys):
+            self.release_key(key)
 
     @property
     def held_keys(self) -> set:

@@ -9,6 +9,7 @@ reconfiguration protocol relies on this for its channel ordering.
 from __future__ import annotations
 
 import heapq
+import zlib
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -65,6 +66,39 @@ class Simulator:
         #: deliveries; the hook may reschedule the event's callback.
         self.interceptor: Optional[Callable[[Event], bool]] = None
         self.intercepted = 0
+        #: opt-in event-sequence fingerprint (see :meth:`enable_fingerprint`)
+        self._fp_enabled = False
+        self._fp = 0
+
+    # ------------------------------------------------------------------
+    # Determinism fingerprint
+    # ------------------------------------------------------------------
+
+    def enable_fingerprint(self) -> None:
+        """Start folding every executed event into a running CRC.
+
+        The fingerprint covers ``(time, callback qualname)`` of each
+        executed event — enough to detect any divergence in event
+        *ordering* or *timing* between two runs. It deliberately avoids
+        ``hash()`` (randomized per process for strings) so that the same
+        seed yields the same fingerprint across processes; the replay
+        layer (repro.testing) compares it to certify that a repro bundle
+        reproduced the identical event sequence.
+        """
+        self._fp_enabled = True
+
+    @property
+    def fingerprint(self) -> int:
+        """Running CRC of the executed event sequence (0 until enabled)."""
+        return self._fp
+
+    def _fp_update(self, event: Event) -> None:
+        fn = event.fn
+        name = getattr(fn, "__qualname__", None) or getattr(
+            fn, "__name__", "<callable>"
+        )
+        data = f"{event.time!r}:{name}".encode()
+        self._fp = zlib.crc32(data, self._fp)
 
     @property
     def now(self) -> float:
@@ -141,6 +175,8 @@ class Simulator:
                 self.intercepted += 1
                 continue
             self._executed += 1
+            if self._fp_enabled:
+                self._fp_update(event)
             event.fn(*event.args)
             return True
         return False
@@ -184,6 +220,8 @@ class Simulator:
                 continue
             self._executed += 1
             executed += 1
+            if self._fp_enabled:
+                self._fp_update(event)
             event.fn(*event.args)
         if until is not None and until > self._now:
             self._now = until

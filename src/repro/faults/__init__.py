@@ -44,6 +44,11 @@ the state-total invariant; knob reference and abort semantics are in
 DESIGN.md §7.
 """
 
+from repro.faults.generate import (
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    generate_fault_plan,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     CRASH,
@@ -68,6 +73,9 @@ __all__ = [
     "LinkDelay",
     "CrashAt",
     "control_round_id",
+    "generate_fault_plan",
+    "fault_plan_to_dict",
+    "fault_plan_from_dict",
     "DROP",
     "DELAY",
     "DUPLICATE",

@@ -1,0 +1,66 @@
+"""Deterministic simulation testing (DST) for the reconfiguration
+protocol.
+
+Algorithm 1's correctness claims — tables pushed in topological order,
+reassigned-key state migrated exactly once, tuples for in-flight keys
+buffered and never lost — hold across far more interleavings than
+hand-written scenario tests can cover. This package turns the
+simulator into a correctness tool with three layers:
+
+- :mod:`~repro.testing.invariants` — machine-checked invariants armed
+  on a live deployment: state conservation, exactly-once migration per
+  (round, key), routing-table agreement across upstream POIs, no
+  held-key buffer leaks after round end, partition balance ≤ α.
+- :mod:`~repro.testing.episode` + :mod:`~repro.testing.fuzz` — a
+  seeded fuzz driver (``python -m repro.testing.fuzz``): every episode
+  (topology shape, workload, fault plan) derives from one seed through
+  the :class:`~repro.testing.rng.RngTree`; violations write a repro
+  bundle.
+- :mod:`~repro.testing.bundle` — replayable failures: a bundle embeds
+  the seed, config and exact fault plan; replaying it reproduces the
+  identical event sequence, certified by the simulator's event
+  fingerprint (:meth:`repro.engine.simulator.Simulator.enable_fingerprint`).
+
+The invariant catalog and bundle format are documented in DESIGN.md
+§9; the CI fuzz gate runs 50 seeds per PR.
+"""
+
+from repro.testing.bundle import (
+    BUNDLE_SCHEMA,
+    ReplayOutcome,
+    bundle_data,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.testing.episode import (
+    INJECTIONS,
+    EpisodeConfig,
+    EpisodeResult,
+    generate_config,
+    run_episode,
+)
+from repro.testing.invariants import (
+    InvariantSuite,
+    Violation,
+    balance_bound,
+)
+from repro.testing.rng import RngTree
+
+__all__ = [
+    "RngTree",
+    "InvariantSuite",
+    "Violation",
+    "balance_bound",
+    "EpisodeConfig",
+    "EpisodeResult",
+    "generate_config",
+    "run_episode",
+    "INJECTIONS",
+    "BUNDLE_SCHEMA",
+    "bundle_data",
+    "write_bundle",
+    "load_bundle",
+    "replay_bundle",
+    "ReplayOutcome",
+]

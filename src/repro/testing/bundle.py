@@ -1,0 +1,113 @@
+"""Repro bundles: minimal, self-contained failure reproductions.
+
+When a fuzz episode violates an invariant, the driver writes a JSON
+*bundle* — the episode config (which embeds the seed and the exact
+fault plan), the violations observed, and the run's event-sequence
+fingerprint. The bundle is the complete recipe: :func:`replay_bundle`
+re-runs the episode from the config alone and verifies it reproduces
+the *identical* failing trace (same fingerprint, same violations), so
+a bundle attached to a bug report replays anywhere.
+
+Format (``schema`` guards future evolution)::
+
+    {
+      "schema": "repro.testing/bundle-v1",
+      "config": { ... EpisodeConfig.to_dict() ... },
+      "violations": [ {invariant, detail, at_s, round_id}, ... ],
+      "fingerprint": 1234567890,
+      "rounds": {"total": 5, "completed": 4, "aborted": 1},
+      "faults_injected": 2,
+      "telemetry_records": 40
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.testing.episode import EpisodeConfig, EpisodeResult, run_episode
+from repro.testing.invariants import Violation
+
+BUNDLE_SCHEMA = "repro.testing/bundle-v1"
+
+
+def bundle_data(result: EpisodeResult) -> dict:
+    """The JSON-ready bundle payload for a (failing) episode."""
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "config": result.config.to_dict(),
+        "violations": [v.to_dict() for v in result.violations],
+        "fingerprint": result.fingerprint,
+        "rounds": {
+            "total": result.rounds,
+            "completed": result.rounds_completed,
+            "aborted": result.rounds_aborted,
+        },
+        "faults_injected": result.faults_injected,
+        "telemetry_records": result.telemetry_records,
+    }
+
+
+def write_bundle(directory: str, result: EpisodeResult) -> str:
+    """Write the bundle for ``result`` into ``directory``; returns the
+    file path (``bundle-seed<seed>.json``)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, f"bundle-seed{result.config.seed}.json"
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle_data(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bundle(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema")
+    if schema != BUNDLE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bundle schema {schema!r} "
+            f"(expected {BUNDLE_SCHEMA!r})"
+        )
+    return data
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a bundle against the current code."""
+
+    result: EpisodeResult
+    #: replay produced the identical event sequence
+    fingerprint_matches: bool
+    #: replay produced the identical violation list
+    violations_match: bool
+    expected_fingerprint: int
+    expected_violations: List[Violation]
+
+    @property
+    def reproduced(self) -> bool:
+        return self.fingerprint_matches and self.violations_match
+
+
+def replay_bundle(path: str) -> ReplayOutcome:
+    """Re-run a bundle's episode and compare against what it recorded."""
+    data = load_bundle(path)
+    config = EpisodeConfig.from_dict(data["config"])
+    expected_violations = [
+        Violation.from_dict(v) for v in data["violations"]
+    ]
+    result = run_episode(config)
+    return ReplayOutcome(
+        result=result,
+        fingerprint_matches=result.fingerprint == data["fingerprint"],
+        violations_match=(
+            [v.to_dict() for v in result.violations]
+            == [v.to_dict() for v in expected_violations]
+        ),
+        expected_fingerprint=data["fingerprint"],
+        expected_violations=expected_violations,
+    )

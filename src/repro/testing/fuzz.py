@@ -1,0 +1,143 @@
+"""The seeded fuzz driver: ``python -m repro.testing.fuzz``.
+
+Generates N episodes from a master seed, runs each with every
+invariant armed, and writes a repro bundle for any episode that
+violates one. Exit status 0 means all episodes were clean; 1 means at
+least one violation (bundles written); 2 means a replay did not
+reproduce its bundle.
+
+Typical runs::
+
+    # the CI gate: 50 seeds, bundles into ./fuzz-bundles on failure
+    python -m repro.testing.fuzz --seeds 50
+
+    # replay a failing seed's bundle and verify it reproduces
+    python -m repro.testing.fuzz --replay fuzz-bundles/bundle-seed7.json
+
+    # prove the harness catches a deliberately injected bug
+    python -m repro.testing.fuzz --seeds 1 --inject double_migrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.testing.bundle import replay_bundle, write_bundle
+from repro.testing.episode import (
+    INJECTIONS,
+    generate_config,
+    run_episode,
+)
+from repro.testing.rng import RngTree
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.fuzz",
+        description=(
+            "Deterministic fuzzing of the reconfiguration protocol: "
+            "seeded episodes, armed invariants, replayable failures."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=50,
+        help="number of episodes to run (default 50)",
+    )
+    parser.add_argument(
+        "--master-seed", type=int, default=0,
+        help="root of the RNG tree; episode i uses seed master+i",
+    )
+    parser.add_argument(
+        "--bundle-dir", default="fuzz-bundles",
+        help="directory for repro bundles of failing episodes",
+    )
+    parser.add_argument(
+        "--inject", choices=INJECTIONS, default=None,
+        help="arm a deliberate bug in every episode (harness self-test)",
+    )
+    parser.add_argument(
+        "--replay", metavar="BUNDLE", default=None,
+        help="replay one bundle and verify it reproduces identically",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print one line per episode instead of a summary",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.replay is not None:
+        return _replay(args.replay)
+
+    tree = RngTree(args.master_seed)
+    failures = 0
+    rounds = completed = aborted = faults = 0
+    for index in range(args.seeds):
+        seed = args.master_seed + index
+        config = generate_config(tree, seed)
+        if args.inject is not None:
+            config.inject = args.inject
+        result = run_episode(config)
+        rounds += result.rounds
+        completed += result.rounds_completed
+        aborted += result.rounds_aborted
+        faults += result.faults_injected
+        if args.verbose:
+            print(
+                f"seed {seed}: rounds={result.rounds} "
+                f"(completed={result.rounds_completed}, "
+                f"aborted={result.rounds_aborted}) "
+                f"faults={result.faults_injected} "
+                f"violations={len(result.violations)} "
+                f"fingerprint={result.fingerprint:#010x}"
+            )
+        if result.violations:
+            failures += 1
+            path = write_bundle(args.bundle_dir, result)
+            print(f"seed {seed}: {len(result.violations)} violation(s), "
+                  f"bundle written to {path}", file=sys.stderr)
+            for violation in result.violations[:5]:
+                print(f"  [{violation.invariant}] {violation.detail}",
+                      file=sys.stderr)
+
+    print(
+        f"{args.seeds} episodes: {failures} with violations; "
+        f"{rounds} rounds ({completed} completed, {aborted} aborted), "
+        f"{faults} faults injected"
+    )
+    if failures:
+        print(
+            f"replay a failure with: python -m repro.testing.fuzz "
+            f"--replay {args.bundle_dir}/bundle-seed<seed>.json",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+def _replay(path: str) -> int:
+    outcome = replay_bundle(path)
+    result = outcome.result
+    print(
+        f"replayed {path}: fingerprint "
+        f"{result.fingerprint:#010x} "
+        f"(expected {outcome.expected_fingerprint:#010x}), "
+        f"{len(result.violations)} violation(s) "
+        f"(expected {len(outcome.expected_violations)})"
+    )
+    if outcome.reproduced:
+        print("identical trace reproduced")
+        return 0
+    if not outcome.fingerprint_matches:
+        print("event-sequence fingerprint DIVERGED", file=sys.stderr)
+    if not outcome.violations_match:
+        print("violation list DIVERGED", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,420 @@
+"""Machine-checked invariants of the reconfiguration protocol.
+
+The :class:`InvariantSuite` arms Algorithm 1's correctness claims as
+runtime checks on a live deployment, using only pre-existing seams:
+the manager's ``round_observers`` list, each executor's
+``control_handler`` / ``extract_state`` / ``install_state`` methods
+(wrapped, never replaced in behaviour), and the quiescent-state
+checker in :mod:`repro.core.validation`.
+
+Checked **at every round end** (completed *or* aborted — the manager
+guarantees both are quiescent for the control plane):
+
+- ``routing_agreement`` — every upstream POI of a table-routed stream
+  holds the same routing table, and (for committed rounds) exactly the
+  table the manager believes is current;
+- ``held_keys`` — no POI is still buffering tuples for in-migration
+  keys once its round is over;
+- ``balance`` — the partition the round deployed respects the α
+  balance constraint on the key graph it was computed from, up to the
+  partitioner's documented vertex-granularity slack.
+
+Checked **while running**:
+
+- ``duplicate_extract`` / ``duplicate_install`` — a key's state is
+  extracted at most once and installed at most once per round
+  (exactly-once migration), attributed to rounds via the round id
+  carried by the triggering control message.
+
+Checked **at final quiescence** (:meth:`InvariantSuite.final_check`):
+
+- ``conservation`` — per-key state summed across a POI's instances
+  equals the ground-truth counts of the generated workload: no tuple
+  lost, none double-counted, across every migration and abort;
+- ``migration_ledger`` — every state entry extracted was installed
+  somewhere (nothing evaporated in transit);
+- ``unique_ownership``/held-keys/acker checks via
+  :func:`repro.core.validation.check_deployment`. Unique ownership is
+  skipped when a round aborted: rollback legitimately leaves a
+  migrated key's past state on its new owner while fresh tuples
+  rebuild state on the old one (totals stay exact — conservation
+  still applies).
+
+Conservation checking must be disarmed for episodes that crash POIs
+(crashes destroy state by design).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.validation import check_deployment
+from repro.engine.executor import BoltExecutor
+from repro.engine.operators import StatefulBolt
+from repro.faults.plan import control_round_id
+
+#: slack epsilon on floating-point weight comparisons
+_EPS = 1e-6
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    detail: str
+    at_s: float
+    round_id: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "at_s": self.at_s,
+            "round_id": self.round_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        return cls(
+            invariant=data["invariant"],
+            detail=data["detail"],
+            at_s=data["at_s"],
+            round_id=data.get("round_id"),
+        )
+
+
+def balance_bound(
+    total_weight: float, nparts: int, max_vertex: float, imbalance: float
+) -> float:
+    """The heaviest part weight the recursive-bisection partitioner is
+    allowed to produce: α times the ideal, or — when keys are coarse
+    relative to parts — the ideal plus one heaviest vertex of slack per
+    recursion level (mirrors the granularity slack in
+    ``partitioning/kway.py``)."""
+    if nparts <= 1:
+        return total_weight + _EPS
+    ideal = total_weight / nparts
+    depth = max(1, math.ceil(math.log2(nparts)))
+    return max(imbalance * ideal, ideal + depth * max_vertex) + _EPS
+
+
+class InvariantSuite:
+    """Arms the invariant checkers on one deployment + manager pair."""
+
+    def __init__(
+        self,
+        deployment,
+        manager,
+        *,
+        check_conservation: bool = True,
+        check_balance: bool = True,
+    ) -> None:
+        self.deployment = deployment
+        self.manager = manager
+        self.check_conservation = check_conservation
+        self.check_balance = check_balance
+        self.violations: List[Violation] = []
+        #: (round_id, op, key) → extract count
+        self._extracts: Dict[Tuple[int, str, Hashable], int] = {}
+        #: (round_id, op, key) → install count
+        self._installs: Dict[Tuple[int, str, Hashable], int] = {}
+        #: total state weight extracted minus installed (in transit)
+        self._ledger = 0.0
+        #: (kind, round_id) of the control message being handled, if any
+        self._msg_ctx: Optional[Tuple[str, Optional[int]]] = None
+        self._attached = False
+        self._rounds_seen = 0
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "InvariantSuite":
+        """Wrap the seams. Call once, after the manager is installed
+        and before the run starts."""
+        if self._attached:
+            return self
+        self._attached = True
+        self.manager.round_observers.append(self._on_round_end)
+        for executor in self.deployment.all_executors():
+            if not isinstance(executor, BoltExecutor):
+                continue
+            self._wrap_executor(executor)
+        return self
+
+    def _wrap_executor(self, executor) -> None:
+        suite = self
+        handler = executor.control_handler
+        if handler is not None:
+
+            def wrapped_handler(msg, ex, _orig=handler):
+                suite._msg_ctx = (msg.kind, control_round_id(msg))
+                try:
+                    _orig(msg, ex)
+                finally:
+                    suite._msg_ctx = None
+
+            executor.control_handler = wrapped_handler
+
+        orig_extract = executor.extract_state
+
+        def wrapped_extract(keys, _orig=orig_extract, _ex=executor):
+            entries = _orig(keys)
+            suite._record_extract(_ex, entries)
+            return entries
+
+        executor.extract_state = wrapped_extract
+
+        orig_install = executor.install_state
+
+        def wrapped_install(entries, _orig=orig_install, _ex=executor):
+            suite._record_install(_ex, entries)
+            _orig(entries)
+
+        executor.install_state = wrapped_install
+
+    # ------------------------------------------------------------------
+    # Running checks (exactly-once migration, in-transit ledger)
+    # ------------------------------------------------------------------
+
+    def _context_round(self) -> Optional[int]:
+        if self._msg_ctx is None:
+            return None
+        return self._msg_ctx[1]
+
+    def _record_extract(self, executor, entries: Dict) -> None:
+        round_id = self._context_round()
+        self._ledger += _state_weight(entries)
+        if round_id is None:
+            return
+        for key in entries:
+            token = (round_id, executor.op_name, key)
+            count = self._extracts.get(token, 0) + 1
+            self._extracts[token] = count
+            if count > 1:
+                self._fail(
+                    "duplicate_extract",
+                    f"{executor.name}: key {key!r} extracted {count} times "
+                    f"in round {round_id}",
+                    round_id,
+                )
+
+    def _record_install(self, executor, entries: Dict) -> None:
+        round_id = self._context_round()
+        self._ledger -= _state_weight(entries)
+        if round_id is None:
+            return
+        for key in entries:
+            token = (round_id, executor.op_name, key)
+            count = self._installs.get(token, 0) + 1
+            self._installs[token] = count
+            if count > 1:
+                self._fail(
+                    "duplicate_install",
+                    f"{executor.name}: key {key!r} installed {count} times "
+                    f"in round {round_id}",
+                    round_id,
+                )
+
+    # ------------------------------------------------------------------
+    # Round-end checks
+    # ------------------------------------------------------------------
+
+    def _on_round_end(self, record) -> None:
+        self._rounds_seen += 1
+        self._check_held_keys(record)
+        self._check_routing_agreement(record)
+        if (
+            self.check_balance
+            and record.plan is not None
+            and record.keygraph is not None
+            and not record.aborted
+            and not record.vetoed
+        ):
+            self._check_balance(record)
+
+    def _check_held_keys(self, record) -> None:
+        for executor in self.deployment.all_executors():
+            if isinstance(executor, BoltExecutor) and executor.held_keys:
+                self._fail(
+                    "held_keys",
+                    f"{executor.name}: still holding "
+                    f"{sorted(map(repr, executor.held_keys))[:5]} after "
+                    f"round {record.round_id} ended",
+                    record.round_id,
+                )
+
+    def _check_routing_agreement(self, record) -> None:
+        for stream in self.manager.routed_streams:
+            tables = []
+            for executor in self.deployment.instances(stream.src_op):
+                tables.append(
+                    (executor.name, executor.table_router(stream.name).table)
+                )
+            reference_name, reference = tables[0]
+            for name, table in tables[1:]:
+                if table != reference:
+                    self._fail(
+                        "routing_agreement",
+                        f"stream {stream.name!r}: {name} disagrees with "
+                        f"{reference_name} after round {record.round_id}",
+                        record.round_id,
+                    )
+            expected = self.manager.current_tables.get(stream.name)
+            if expected is not None and reference != expected:
+                self._fail(
+                    "routing_agreement",
+                    f"stream {stream.name!r}: {reference_name} diverges "
+                    f"from the manager's current table after round "
+                    f"{record.round_id}",
+                    record.round_id,
+                )
+
+    def _check_balance(self, record) -> None:
+        assignment = record.plan.assignment
+        if assignment is None:
+            return
+        keygraph = record.keygraph
+        weights: Dict[int, float] = {}
+        max_vertex = 0.0
+        total = 0.0
+        for (stream, key), part in assignment.parts.items():
+            w = keygraph.vertex_weight(stream, key)
+            weights[part] = weights.get(part, 0.0) + w
+            max_vertex = max(max_vertex, w)
+            total += w
+        if not weights or total <= 0:
+            return
+        bound = balance_bound(
+            total,
+            assignment.num_parts,
+            max_vertex,
+            self.manager.config.imbalance,
+        )
+        heaviest = max(weights.values())
+        if heaviest > bound:
+            self._fail(
+                "balance",
+                f"round {record.round_id}: heaviest part carries "
+                f"{heaviest:.1f} of {total:.1f} total weight, above the "
+                f"bound {bound:.1f} (α={self.manager.config.imbalance})",
+                record.round_id,
+            )
+
+    # ------------------------------------------------------------------
+    # Final quiescence checks
+    # ------------------------------------------------------------------
+
+    def final_check(
+        self, expected_counts: Optional[Dict[str, Dict]] = None
+    ) -> List[Violation]:
+        """Run the end-of-episode checks and return all violations.
+
+        ``expected_counts`` maps operator name → ground-truth per-key
+        counts (e.g. from ``PairsWorkload.expected_counts``); omit it
+        to skip conservation.
+        """
+        now = self.deployment.sim.now
+        if self.check_conservation and abs(self._ledger) > _EPS:
+            self.violations.append(
+                Violation(
+                    "migration_ledger",
+                    f"{self._ledger:+.1f} state weight still in transit "
+                    f"at quiescence (extracted but never installed)",
+                    now,
+                )
+            )
+        if self.check_conservation and expected_counts is not None:
+            self._check_conservation(expected_counts, now)
+
+        aborted = any(r.aborted for r in self.manager.rounds)
+        if not aborted:
+            report = check_deployment(self.deployment)
+            for message in report.violations:
+                self.violations.append(
+                    Violation("deployment_state", message, now)
+                )
+        else:
+            # Aborts legitimately split a key's state across two
+            # owners; keep the abort-safe subset of the checks.
+            if self.deployment.acker.in_flight != 0:
+                self.violations.append(
+                    Violation(
+                        "deployment_state",
+                        f"{self.deployment.acker.in_flight} tuple trees "
+                        f"still in flight",
+                        now,
+                    )
+                )
+            for executor in self.deployment.all_executors():
+                if (
+                    isinstance(executor, BoltExecutor)
+                    and executor.held_keys
+                ):
+                    self.violations.append(
+                        Violation(
+                            "deployment_state",
+                            f"{executor.name}: still holding keys at "
+                            f"quiescence",
+                            now,
+                        )
+                    )
+        return self.violations
+
+    def _check_conservation(
+        self, expected_counts: Dict[str, Dict], now: float
+    ) -> None:
+        for op_name, expected in expected_counts.items():
+            totals: Dict[Hashable, float] = {}
+            for executor in self.deployment.instances(op_name):
+                operator = executor.operator
+                if not isinstance(operator, StatefulBolt):
+                    continue
+                for key, value in operator.state.items():
+                    totals[key] = totals.get(key, 0) + value
+            missing = {
+                key: count
+                for key, count in expected.items()
+                if abs(totals.get(key, 0) - count) > _EPS
+            }
+            extra = sorted(set(totals) - set(expected))
+            if missing or extra:
+                examples = [
+                    f"key {key!r}: have {totals.get(key, 0)}, "
+                    f"expected {count}"
+                    for key, count in list(missing.items())[:3]
+                ]
+                if extra:
+                    examples.append(f"unexpected keys {extra[:3]}")
+                self._fail_at(
+                    "conservation",
+                    f"{op_name}: {len(missing)} keys off, "
+                    f"{len(extra)} unexpected ({'; '.join(examples)})",
+                    now,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _fail(self, invariant: str, detail: str, round_id: int) -> None:
+        self.violations.append(
+            Violation(invariant, detail, self.deployment.sim.now, round_id)
+        )
+
+    def _fail_at(self, invariant: str, detail: str, at_s: float) -> None:
+        self.violations.append(Violation(invariant, detail, at_s))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _state_weight(entries: Dict) -> float:
+    """Total weight of a state-entry dict (CountBolt entries are plain
+    numbers; anything else counts 1 per key)."""
+    weight = 0.0
+    for value in entries.values():
+        weight += value if isinstance(value, (int, float)) else 1.0
+    return weight

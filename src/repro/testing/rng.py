@@ -1,0 +1,44 @@
+"""The seeded RNG tree: one root seed, many independent streams.
+
+Deterministic simulation testing requires that *every* random decision
+in an episode — workload tuples, fault plans, partitioner tie-breaks —
+derives from the single episode seed, so that re-running the seed
+replays the identical event sequence. :class:`RngTree` provides that
+discipline: children are derived by path, and two different paths
+yield statistically independent, process-stable streams.
+
+Derivation goes through :func:`repro.engine.grouping.stable_hash`
+(crc32 + splitmix64 over the repr), never the builtin ``hash`` — which
+is salted per process for strings and would silently break replay
+across interpreter invocations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.grouping import stable_hash
+
+
+class RngTree:
+    """A node in the seed-derivation tree."""
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def derive(self, *path) -> "RngTree":
+        """The child node at ``path`` (any repr-stable values)."""
+        return RngTree(stable_hash(repr(path), self.seed))
+
+    def rng(self, *path) -> random.Random:
+        """A fresh ``random.Random`` for the stream at ``path``.
+
+        Each call returns an independent generator in the same state,
+        so callers own their stream's consumption order.
+        """
+        return random.Random(self.derive(*path).seed)
+
+    def __repr__(self) -> str:
+        return f"RngTree(seed={self.seed})"

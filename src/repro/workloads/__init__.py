@@ -17,12 +17,15 @@ paper's experimental conditions.
 """
 
 from repro.workloads.flickr import FlickrConfig, FlickrWorkload
+from repro.workloads.pairs import PairsConfig, PairsWorkload
 from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
 from repro.workloads.twitter import TwitterConfig, TwitterWorkload
 from repro.workloads.zipf import ZipfSampler
 
 __all__ = [
     "ZipfSampler",
+    "PairsConfig",
+    "PairsWorkload",
     "SyntheticConfig",
     "SyntheticWorkload",
     "TwitterConfig",

@@ -1,0 +1,71 @@
+"""Property-based invariants of the k-way partitioner.
+
+On hypothesis-generated weighted graphs, ``partition`` must (a) assign
+every vertex exactly one part in range — a total function onto
+``0..nparts-1`` — and (b) respect the α balance constraint up to the
+documented vertex-granularity slack (the same
+:func:`repro.testing.balance_bound` the DST harness checks live
+rounds against)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning import Graph, part_weights, partition
+from repro.testing import balance_bound
+
+
+@st.composite
+def weighted_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=32))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    graph = Graph(n, weights)
+    edge_seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = random.Random(edge_seed)
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v, rng.uniform(0.5, 4.0))
+    return graph
+
+
+nparts_st = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**16)
+imbalances = st.sampled_from([1.03, 1.1, 1.3])
+
+
+@settings(max_examples=80, deadline=None)
+@given(weighted_graphs(), nparts_st, seeds)
+def test_every_vertex_assigned_exactly_once(graph, nparts, seed):
+    parts = partition(graph, nparts, seed=seed)
+    assert len(parts) == graph.num_vertices
+    assert all(0 <= part < nparts for part in parts)
+
+
+@settings(max_examples=80, deadline=None)
+@given(weighted_graphs(), nparts_st, seeds, imbalances)
+def test_alpha_balance_with_granularity_slack(graph, nparts, seed, alpha):
+    parts = partition(graph, nparts, imbalance=alpha, seed=seed)
+    weights = part_weights(graph, parts, nparts)
+    total = graph.total_vertex_weight
+    max_vertex = max(
+        (graph.vertex_weight(v) for v in range(graph.num_vertices)),
+        default=0.0,
+    )
+    assert max(weights) <= balance_bound(total, nparts, max_vertex, alpha)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_graphs(), nparts_st, seeds)
+def test_partition_is_deterministic_for_a_seed(graph, nparts, seed):
+    assert partition(graph, nparts, seed=seed) == partition(
+        graph, nparts, seed=seed
+    )

@@ -1,0 +1,80 @@
+"""Property-based checks of SpaceSaving against the exact oracle.
+
+The Metwally et al. guarantees, verified on hypothesis-generated
+streams with :class:`~repro.spacesaving.exact.ExactCounter` (same
+interface, unbounded memory) as ground truth:
+
+- never under-estimate: ``true ≤ count`` for every tracked item;
+- the error bound is honest: ``count − error ≤ true``;
+- with capacity ``m`` after ``N`` offers, every per-item error (and
+  the sketch-wide ``max_error``) is at most ``N / m`` — the ε·N bound;
+- frequent-item containment: any item whose true count exceeds
+  ``N / m`` is tracked (the top-k completeness the manager's
+  statistics collection relies on).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spacesaving import ExactCounter, SpaceSaving
+
+streams = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=500
+)
+capacities = st.integers(min_value=4, max_value=64)
+
+
+def _fill(stream, capacity):
+    sketch = SpaceSaving(capacity)
+    oracle = ExactCounter()
+    for item in stream:
+        sketch.offer(item)
+        oracle.offer(item)
+    return sketch, oracle
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams, capacities)
+def test_estimates_bracket_truth(stream, capacity):
+    sketch, oracle = _fill(stream, capacity)
+    for est in sketch.items():
+        truth = oracle.estimate(est.item)
+        true_count = truth.count if truth is not None else 0
+        assert true_count <= est.count
+        assert est.count - est.error <= true_count
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams, capacities)
+def test_error_respects_epsilon_n(stream, capacity):
+    sketch, oracle = _fill(stream, capacity)
+    bound = oracle.n / capacity
+    assert sketch.max_error() <= bound
+    for est in sketch.items():
+        assert est.error <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(streams, capacities)
+def test_frequent_items_are_tracked(stream, capacity):
+    sketch, oracle = _fill(stream, capacity)
+    threshold = oracle.n / capacity
+    for est in oracle.items():
+        if est.count > threshold:
+            assert est.item in sketch, (
+                f"item {est.item} with true count {est.count} > "
+                f"N/m = {threshold} missing from the sketch"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(streams, capacities, st.integers(min_value=1, max_value=8))
+def test_guaranteed_top_is_sound(stream, capacity, k):
+    """Items the sketch *guarantees* in the top-k really are at least
+    as frequent as every untracked item could possibly be."""
+    sketch, oracle = _fill(stream, capacity)
+    for est in sketch.guaranteed_top(k):
+        truth = oracle.estimate(est.item)
+        assert truth is not None
+        # The guaranteed lower bound never exceeds the truth.
+        assert est.count - est.error <= truth.count

@@ -1,0 +1,74 @@
+"""Determinism regression: same seed ⇒ identical trace.
+
+Every record the telemetry layer emits is stamped with the *simulated*
+clock only (DESIGN.md §8.3) — there are no wall-clock fields to strip —
+so two same-seed runs must produce byte-identical telemetry and the
+same event-sequence fingerprint, in this process and (checked via a
+subprocess with a different ``PYTHONHASHSEED``) across processes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.testing import RngTree, generate_config, run_episode
+
+SEED = 1
+
+
+def _telemetry_jsonl(result):
+    return "\n".join(
+        json.dumps(record, sort_keys=True, default=str)
+        for record in result.sink.records
+    )
+
+
+def test_same_seed_identical_telemetry_and_fingerprint():
+    tree = RngTree(0)
+    first = run_episode(generate_config(tree, SEED))
+    second = run_episode(generate_config(tree, SEED))
+    assert first.fingerprint == second.fingerprint
+    assert _telemetry_jsonl(first) == _telemetry_jsonl(second)
+    assert [v.to_dict() for v in first.violations] == [
+        v.to_dict() for v in second.violations
+    ]
+
+
+def test_different_seeds_diverge():
+    tree = RngTree(0)
+    first = run_episode(generate_config(tree, 0))
+    second = run_episode(generate_config(tree, 2))
+    assert first.fingerprint != second.fingerprint
+
+
+def test_fingerprint_stable_across_hash_randomization():
+    """Replaying in a fresh interpreter with a different hash seed must
+    not change the event sequence (the property bare ``hash()`` or
+    set-iteration order anywhere in the hot path would break)."""
+    script = (
+        "from repro.testing import RngTree, generate_config, run_episode;"
+        f"r = run_episode(generate_config(RngTree(0), {SEED}));"
+        "print(r.fingerprint, r.telemetry_records)"
+    )
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    outputs = set()
+    for hash_seed in ("1", "421"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [env.get("PYTHONPATH"), src_dir])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, outputs
+    in_process = run_episode(generate_config(RngTree(0), SEED))
+    expected = f"{in_process.fingerprint} {in_process.telemetry_records}"
+    assert outputs == {expected}

@@ -1,0 +1,80 @@
+"""The invariant suite: clean runs stay clean, armed bugs are caught."""
+
+import pytest
+
+from repro.testing import (
+    EpisodeConfig,
+    RngTree,
+    Violation,
+    balance_bound,
+    generate_config,
+    run_episode,
+)
+
+#: a small, fast, fault-free episode for targeted checks
+FAST = dict(
+    parallelism=2,
+    keys=16,
+    tuples_per_instance=400,
+    period_s=0.05,
+    round_timeout_s=0.03,
+    until_s=0.2,
+)
+
+
+def _kinds(result):
+    return {v.invariant for v in result.violations}
+
+
+def test_clean_episode_has_no_violations():
+    result = run_episode(EpisodeConfig(seed=11, **FAST))
+    assert result.ok, result.violations
+    assert result.rounds_completed >= 1
+
+
+def test_generated_chaotic_episodes_stay_clean():
+    tree = RngTree(0)
+    for seed in range(3):
+        result = run_episode(generate_config(tree, seed))
+        assert result.ok, (seed, result.violations)
+
+
+def test_double_migrate_is_caught():
+    # Seed 0 of tree 0 migrates state into B[0], the injection's victim.
+    config = generate_config(RngTree(0), 0)
+    config.inject = "double_migrate"
+    result = run_episode(config)
+    kinds = _kinds(result)
+    assert "duplicate_install" in kinds
+    assert "conservation" in kinds
+    assert "migration_ledger" in kinds
+
+
+def test_held_leak_is_caught():
+    config = generate_config(RngTree(0), 1)
+    config.inject = "held_leak"
+    result = run_episode(config)
+    assert "held_keys" in _kinds(result)
+
+
+def test_unknown_injection_rejected():
+    with pytest.raises(ValueError):
+        run_episode(EpisodeConfig(seed=1, inject="no_such_bug", **FAST))
+
+
+def test_violation_round_trips():
+    violation = Violation("conservation", "B: key 3 off", 0.25, round_id=2)
+    assert Violation.from_dict(violation.to_dict()) == violation
+
+
+def test_balance_bound_shapes():
+    # Single part: everything is allowed (no balance to speak of).
+    assert balance_bound(100.0, 1, 50.0, 1.03) >= 100.0
+    # Fine-grained keys: α rules.
+    assert balance_bound(1000.0, 2, 1.0, 1.1) == pytest.approx(
+        550.0, rel=1e-5
+    )
+    # Coarse keys: one max-vertex of slack per level rules.
+    assert balance_bound(10.0, 2, 6.0, 1.03) == pytest.approx(
+        11.0, rel=1e-5
+    )

@@ -1,0 +1,432 @@
+"""Engine throughput benchmark suite (wall-clock, not simulated time).
+
+Measures how fast the *engine itself* runs on this machine:
+
+- **end-to-end**: the Fig. 13-style two-stage Flickr topology
+  (``S -> A -> B``, table-routed, 4 kB padding, 1 Gb/s) on the quick
+  grid, with and without the reconfiguration manager — reported as
+  simulated events/sec and processed tuples/sec of wall clock;
+- **microbenches**: router ``select`` for the hash, table and
+  partial-key routers, SpaceSaving ``offer``, and executor emission
+  planning;
+- **telemetry overhead**: instrumented-vs-bare process CPU time on
+  the null sink (the DESIGN.md §8 <3 % budget, gated strictly by
+  ``bench_observability.py``; recorded here for the trajectory).
+
+Results land in ``BENCH_engine.json`` at the repo root via
+``tools/bench_record.py`` so successive PRs leave a perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --record current
+    PYTHONPATH=src python benchmarks/bench_engine.py --check   # CI gate
+
+Set ``REPRO_BENCH_QUICK=1`` for shorter runs (rates stay comparable —
+only the measurement window shrinks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Dict, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _sub in ("src", "tools", "benchmarks"):
+    _path = os.path.join(_REPO_ROOT, _sub)
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import bench_record
+from helpers import save_table
+from repro.analysis.report import format_table
+from repro.core import Manager, ManagerConfig
+from repro.core.routing_table import RoutingTable
+from repro.engine import Cluster, Simulator, deploy
+from repro.engine.grouping import (
+    FieldsGrouping,
+    PartialKeyGrouping,
+    RouterContext,
+    TableFieldsGrouping,
+    stable_hash,
+)
+from repro.engine.tuples import Padding
+from repro.spacesaving import SpaceSaving
+from repro.workloads import FlickrConfig, FlickrWorkload
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the Fig. 13 quick-grid pipeline, timed on the wall clock
+# ----------------------------------------------------------------------
+
+PARALLELISM = 6
+PADDING = 4000
+BANDWIDTH_GBPS = 1.0
+
+
+def _pipeline_run(reconfigure: bool, duration_s: float) -> Dict[str, float]:
+    workload = FlickrWorkload(FlickrConfig())
+    sim = Simulator()
+    cluster = Cluster(sim, PARALLELISM, bandwidth_gbps=BANDWIDTH_GBPS)
+    deployment = deploy(
+        sim, cluster, workload.topology(PARALLELISM, padding=PADDING)
+    )
+    if reconfigure:
+        manager = Manager(
+            deployment,
+            ManagerConfig(period_s=duration_s / 3.0, sketch_capacity=100_000),
+        )
+        manager.start()
+    deployment.start()
+    start = time.perf_counter()
+    sim.run(until=duration_s)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "tuples": float(sum(deployment.metrics.processed.values())),
+        "events": float(sim.events_executed),
+    }
+
+
+def bench_pipeline(reconfigure: bool) -> Dict[str, float]:
+    """Best-of-N wall clock for one quick-grid cell."""
+    duration = 0.75 if _quick() else 1.5
+    repeats = 2 if _quick() else 3
+    # Discarded warmup: the first run in a fresh process is reliably
+    # slower (adaptive-interpreter specialization, hash memo fills),
+    # which would otherwise skew whichever metric the suite runs first.
+    _pipeline_run(reconfigure, 0.2)
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        sample = _pipeline_run(reconfigure, duration)
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    return best
+
+
+# ----------------------------------------------------------------------
+# Microbenches
+# ----------------------------------------------------------------------
+
+NUM_KEYS = 2000
+
+
+def _key_stream(n: int):
+    """A zipf-ish stream of (tag, country) value tuples."""
+    rng = random.Random(0)
+    keys = [f"tag{i}" for i in range(NUM_KEYS)]
+    weights = [1.0 / (i + 1) for i in range(NUM_KEYS)]
+    tags = rng.choices(keys, weights=weights, k=n)
+    return [(tag, f"country{i % 97}") for i, tag in enumerate(tags)]
+
+
+def _router_context() -> RouterContext:
+    return RouterContext(
+        stream_name="bench",
+        src_instance=0,
+        src_server=0,
+        dst_placements=list(range(PARALLELISM)),
+        seed=stable_hash("bench"),
+    )
+
+
+def _time_select(router, values) -> float:
+    select = router.select
+    start = time.perf_counter()
+    for v in values:
+        select(v)
+    return len(values) / (time.perf_counter() - start)
+
+
+def bench_routers(n: int) -> Dict[str, float]:
+    values = _key_stream(n)
+    context = _router_context()
+    table = RoutingTable(
+        {f"tag{i}": i % PARALLELISM for i in range(0, NUM_KEYS, 2)}
+    )
+    return {
+        "micro_router_hash_select_per_s": _time_select(
+            FieldsGrouping(0).build_router(context), values
+        ),
+        "micro_router_table_select_per_s": _time_select(
+            TableFieldsGrouping(0, table=table).build_router(context), values
+        ),
+        "micro_router_partial_key_select_per_s": _time_select(
+            PartialKeyGrouping(0).build_router(context), values
+        ),
+    }
+
+
+def bench_sketch(n: int) -> float:
+    values = _key_stream(n)
+    sketch = SpaceSaving(capacity=1000)
+    offer = sketch.offer
+    start = time.perf_counter()
+    for v in values:
+        offer(v[0])
+    return n / (time.perf_counter() - start)
+
+
+def _emission_executor():
+    """A deployed two-stage topology; returns the A[0] bolt executor,
+    whose out edge fans out to the table-routed B stage."""
+    from repro.engine import CountBolt, TopologyBuilder
+    from repro.engine.operators import IteratorSpout
+
+    def source(ctx):
+        yield ("tag0", "country0")
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=1)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=PARALLELISM,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=PARALLELISM,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    sim = Simulator()
+    cluster = Cluster(sim, PARALLELISM)
+    deployment = deploy(sim, cluster, builder.build())
+    return deployment.executor("A", 0)
+
+
+def bench_emission_planning(n: int) -> float:
+    executor = _emission_executor()
+    values = [
+        (tag, country, Padding(PADDING)) for tag, country in _key_stream(n)
+    ]
+    plan = executor._plan_emissions
+    start = time.perf_counter()
+    for v in values:
+        plan([v], root_id=1)
+    return n / (time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Telemetry overhead (informational here; gated by bench_observability)
+# ----------------------------------------------------------------------
+
+
+def bench_telemetry_overhead() -> float:
+    # Shares bench_observability's paired-rounds CPU-time method so the
+    # number recorded here and the gated one cannot disagree in kind.
+    from bench_observability import measure_overhead
+
+    overheads, _, _ = measure_overhead(modes=("bare", "null-sink"))
+    return overheads["null-sink"]
+
+
+# ----------------------------------------------------------------------
+# Suite
+# ----------------------------------------------------------------------
+
+
+def run_suite(include_overhead: bool = True) -> Dict[str, float]:
+    n = 20_000 if _quick() else 50_000
+    plain = bench_pipeline(reconfigure=False)
+    reconf = bench_pipeline(reconfigure=True)
+    metrics = {
+        "fig13_quick_tuples_per_s": plain["tuples"] / plain["wall_s"],
+        "fig13_quick_events_per_s": plain["events"] / plain["wall_s"],
+        "fig13_quick_reconf_tuples_per_s": reconf["tuples"]
+        / reconf["wall_s"],
+        "fig13_quick_reconf_events_per_s": reconf["events"]
+        / reconf["wall_s"],
+        "micro_sketch_offer_per_s": bench_sketch(n),
+        "micro_emission_plan_per_s": bench_emission_planning(n),
+    }
+    metrics.update(bench_routers(n))
+    if include_overhead:
+        metrics["telemetry_overhead_frac"] = bench_telemetry_overhead()
+    return metrics
+
+
+def _format(metrics: Dict[str, float]) -> str:
+    rows = [
+        {
+            "metric": key,
+            "value": (
+                f"{value:,.0f}/s"
+                if key.endswith("_per_s")
+                else f"{value:+.2%}"
+            ),
+        }
+        for key, value in sorted(metrics.items())
+    ]
+    mode = "quick" if _quick() else "full"
+    return format_table(
+        rows, title=f"Engine throughput suite ({mode}, wall clock)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (run with: pytest benchmarks/bench_engine.py)
+# ----------------------------------------------------------------------
+
+
+def test_engine_suite_and_regression_gate():
+    """Regenerate the suite; fail on a >20 % drop vs the committed
+    baseline in BENCH_engine.json (the engine-bench CI gate)."""
+    metrics = run_suite(include_overhead=False)
+    table = _format(metrics)
+    print()
+    print(table)
+    save_table("engine_bench", table)
+
+    doc = bench_record.load()
+    baseline = doc.get("baseline")
+    assert baseline is not None, (
+        "BENCH_engine.json has no baseline; record one with "
+        "--record baseline"
+    )
+    regressions = bench_record.compare(
+        baseline["metrics"], metrics, tolerance=0.20
+    )
+    assert not regressions, "\n".join(regressions)
+
+
+def test_plan_emissions_computes_payload_size_once(monkeypatch):
+    """Regression microbench: one emitted ``values`` must cost exactly
+    one ``payload_size`` walk, no matter how many destination copies
+    the routers produce (hoisted in ``BaseExecutor._plan_emissions``)."""
+    import repro.engine.executor as executor_mod
+
+    calls = {"n": 0}
+    real = executor_mod.payload_size
+
+    def counting(values):
+        calls["n"] += 1
+        return real(values)
+
+    monkeypatch.setattr(executor_mod, "payload_size", counting)
+    executor = _emission_executor()
+    plan = executor._plan_emissions(
+        [("tag1", "country1", Padding(64))], root_id=None
+    )
+    assert len(plan) == 1  # table-routed: one destination copy
+    assert calls["n"] == 1, (
+        f"payload_size walked {calls['n']} times for one emission"
+    )
+
+
+def test_committed_trajectory_is_consistent():
+    """The committed BENCH_engine.json must carry both a baseline and a
+    current entry, and current must not trail baseline by >20 % on the
+    headline end-to-end metric (machine-relative ratios are what the
+    file certifies)."""
+    doc = bench_record.load()
+    assert doc.get("baseline"), "missing baseline entry"
+    assert doc.get("current"), "missing current entry"
+    ratio = bench_record.speedup(
+        doc["baseline"]["metrics"],
+        doc["current"]["metrics"],
+        "fig13_quick_tuples_per_s",
+    )
+    assert ratio >= 0.8, f"committed current is {ratio:.2f}x of baseline"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure engine wall-clock throughput."
+    )
+    parser.add_argument(
+        "--record",
+        choices=("baseline", "current"),
+        default=None,
+        help="record the measurement into BENCH_engine.json",
+    )
+    parser.add_argument("--label", default="", help="entry label")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on >tolerance regression vs the committed baseline",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless tuples/s >= X times the committed baseline",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="record into PATH instead of the committed "
+        "BENCH_engine.json (with --record), or dump the raw metrics "
+        "as JSON to PATH (without)",
+    )
+    parser.add_argument(
+        "--no-overhead",
+        action="store_true",
+        help="skip the telemetry-overhead measurement",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = run_suite(include_overhead=not args.no_overhead)
+    print(_format(metrics))
+
+    if args.out and not args.record:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    status = 0
+    doc = bench_record.load()
+    baseline = doc.get("baseline")
+    if args.check or args.require_speedup is not None:
+        if baseline is None:
+            print("no committed baseline to compare against", file=sys.stderr)
+            return 2
+        if args.check:
+            regressions = bench_record.compare(
+                baseline["metrics"], metrics, tolerance=args.tolerance
+            )
+            for message in regressions:
+                print(f"REGRESSION {message}", file=sys.stderr)
+            status = 1 if regressions else 0
+        if args.require_speedup is not None:
+            ratio = bench_record.speedup(
+                baseline["metrics"], metrics, "fig13_quick_tuples_per_s"
+            )
+            print(
+                f"speedup vs baseline (fig13_quick_tuples_per_s): "
+                f"{ratio:.2f}x"
+            )
+            if ratio < args.require_speedup:
+                print(
+                    f"speedup {ratio:.2f}x below required "
+                    f"{args.require_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                status = 1
+    if args.record:
+        record_path = args.out or bench_record.DEFAULT_PATH
+        bench_record.record(
+            metrics, role=args.record, label=args.label, path=record_path
+        )
+        print(f"recorded as {args.record} in {record_path}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ acking enabled.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 
@@ -37,6 +37,12 @@ class Acker:
         #: are replayed by their spout. None disables (tests that
         #: drain exactly once rely on that default).
         self.timeout_s = timeout_s
+        # Trees completed at the same simulated instant (a bolt
+        # finishing a batch completes several at once) share one
+        # ack-delivery event; their callbacks run in completion order,
+        # exactly as the equal-time per-tree events would have.
+        self._ack_batch: List[Callable[[], None]] = []
+        self._ack_batch_time = -1.0
 
     @property
     def in_flight(self) -> int:
@@ -92,4 +98,15 @@ class Acker:
             if self.latency_stats is not None:
                 self.latency_stats.record(self._sim.now - tree[2])
             # The ack message travels back to the spout.
-            self._sim.schedule(self._ack_delay, tree[1])
+            now = self._sim.now
+            if self._ack_batch and self._ack_batch_time == now:
+                self._ack_batch.append(tree[1])
+            else:
+                batch = [tree[1]]
+                self._ack_batch = batch
+                self._ack_batch_time = now
+                self._sim.schedule(self._ack_delay, self._deliver_acks, batch)
+
+    def _deliver_acks(self, batch: List[Callable[[], None]]) -> None:
+        for on_complete in batch:
+            on_complete()

@@ -33,7 +33,7 @@ from repro.engine.operators import (
     Spout,
     StatefulBolt,
 )
-from repro.engine.tuples import Tuple, make_tuple
+from repro.engine.tuples import Tuple, payload_size
 from repro.errors import SimulationError
 
 
@@ -98,7 +98,14 @@ class BaseExecutor:
         self.costs = costs
         self.metrics = metrics
         self.acker = acker
+        #: the hub keys per-instance tallies by (op, instance); built
+        #: once so the hot paths don't construct a tuple per tuple
+        self._id_key = (op_name, instance)
         self.out_edges: List[OutEdge] = []
+        #: stream name → edge, kept in sync by :meth:`add_out_edge` so
+        #: :meth:`out_edge` is O(1) (it is hot during reconfiguration:
+        #: every ``table_router`` call goes through it)
+        self._out_edge_index: Dict[str, OutEdge] = {}
         #: key extraction per input operator name (fields-grouped inputs)
         self.in_key_fns: Dict[str, Callable[[tuple], Any]] = {}
         #: optional hook with ``observe(in_stream, in_key, out_stream,
@@ -111,6 +118,7 @@ class BaseExecutor:
         #: -> bool`` consulted on every control delivery; True means the
         #: hook consumed the delivery — set by repro.faults
         self.fault_hook = None
+        self._op_context: Optional[OperatorContext] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -130,13 +138,36 @@ class BaseExecutor:
             lambda: self.sim.now,
         )
 
+    def _context(self) -> OperatorContext:
+        """The reusable per-executor context for the processing loops.
+
+        Identity fields never change after deployment and ``_drain``
+        empties the emission buffer after every operator call, so one
+        context object serves every invocation.
+        """
+        context = self._op_context
+        if context is None:
+            context = self._op_context = self.make_context()
+        return context
+
+    def add_out_edge(self, edge: OutEdge) -> None:
+        """Wire one output edge (deployment time), indexing it by name."""
+        self.out_edges.append(edge)
+        self._out_edge_index[edge.stream_name] = edge
+
     def out_edge(self, stream_name: str) -> OutEdge:
-        for edge in self.out_edges:
-            if edge.stream_name == stream_name:
-                return edge
-        raise SimulationError(
-            f"{self.name} has no output stream {stream_name!r}"
-        )
+        index = self._out_edge_index
+        if len(index) != len(self.out_edges):
+            # Edges appended to the list directly (tests do): re-index.
+            index.clear()
+            for edge in self.out_edges:
+                index[edge.stream_name] = edge
+        try:
+            return index[stream_name]
+        except KeyError:
+            raise SimulationError(
+                f"{self.name} has no output stream {stream_name!r}"
+            ) from None
 
     def table_router(self, stream_name: str) -> TableRouter:
         router = self.out_edge(stream_name).router
@@ -153,42 +184,58 @@ class BaseExecutor:
     def _plan_emissions(
         self, emissions: List[tuple], root_id: Optional[int]
     ) -> "EmissionPlan":
-        """Route emissions now; return the plan plus its ser CPU cost."""
+        """Route emissions now; return the plan plus its ser CPU cost.
+
+        The recursive :func:`payload_size` walk runs once per emitted
+        ``values`` and is shared across every destination copy (a
+        broadcast to N instances sizes the payload once, not N times).
+        """
         plan: List[tuple] = []
         ser_cost = 0.0
+        costs = self.costs
+        header_bytes = costs.tuple_header_bytes
+        my_server = self.server.index
+        out_edges = self.out_edges
+        emitted = self.metrics.emitted
+        id_key = self._id_key
         for values in emissions:
+            # ``values`` is already a tuple (OperatorContext.emit
+            # normalizes), so Tuple is built directly — make_tuple's
+            # re-tupling and size walk would be pure overhead here.
+            size = header_bytes + payload_size(values)
             emission_root = root_id
-            for edge in self.out_edges:
+            for edge in out_edges:
                 for dst_index in edge.router.select(values):
                     dst = edge.destinations[dst_index]
-                    tup = make_tuple(
-                        values, self.costs.tuple_header_bytes, emission_root
-                    )
+                    tup = Tuple(values, size, emission_root)
                     if emission_root is None:
                         # First copy of a spout emission anchors the tree.
                         emission_root = tup.root_id
-                    remote = dst.server.index != self.server.index
+                    remote = dst.server.index != my_server
                     if remote:
-                        ser_cost += self.costs.ser_cost(tup.size)
+                        ser_cost += costs.ser_cost(size)
                     plan.append((edge, dst, tup, remote))
-            self.metrics.on_emit(self.op_name, self.instance)
+            emitted[id_key] += 1
         return EmissionPlan(plan, ser_cost)
 
     def _dispatch(self, plan: "EmissionPlan") -> None:
+        streams = self.metrics.streams
+        transfer = self.cluster.transfer
+        server = self.server
+        op_name = self.op_name
         for edge, dst, tup, remote in plan.entries:
-            self.metrics.on_route(edge.stream_name, remote, tup.size)
+            counters = streams[edge.stream_name]
+            size = tup.size
             if remote:
-                self.cluster.transfer(
-                    self.server,
-                    dst.server,
-                    tup.size,
-                    dst.deliver,
-                    tup,
-                    True,
-                    self.op_name,
+                counters.remote_tuples += 1
+                counters.remote_bytes += size
+                transfer(
+                    server, dst.server, size, dst.deliver, tup, True, op_name
                 )
             else:
-                dst.deliver(tup, False, self.op_name)
+                counters.local_tuples += 1
+                counters.local_bytes += size
+                dst.deliver(tup, False, op_name)
 
     # ------------------------------------------------------------------
     # Control plane
@@ -313,9 +360,11 @@ class BoltExecutor(BaseExecutor):
         if self._crashed:
             self.metrics.dropped[self.op_name] += 1
             return
-        self.metrics.on_delivered(self.op_name, self.instance)
+        self.metrics.received[self._id_key] += 1
         self._queue.append(("data", tup, remote, src_op))
-        self._maybe_start()
+        if not self._busy:
+            self._busy = True
+            self._process_next()
 
     def accept_control(self, msg: ControlMessage) -> None:
         if self._crashed:
@@ -360,59 +409,84 @@ class BoltExecutor(BaseExecutor):
             self._process_next()
 
     def _process_next(self) -> None:
-        while self._queue:
-            item = self._queue.popleft()
-            kind = item[0]
-            if kind == "ctrl":
-                msg = item[1]
+        """Drain the queue: up to ``costs.bolt_batch`` consecutive data
+        items are processed per scheduled service event (one heap push
+        instead of N), with their modeled service times summed. A batch
+        never crosses a control message, so control barriers see
+        exactly the FIFO order they saw with per-tuple events."""
+        queue = self._queue
+        costs = self.costs
+        batch_limit = costs.bolt_batch if costs.bolt_batch > 0 else 1
+        bolt_service_s = costs.bolt_service_s
+        get_key_fn = self.in_key_fns.get
+        held_keys = self._held_keys
+        process = self.operator.process
+        context = self._context()
+        drain = context._drain
+        while queue:
+            if queue[0][0] == "ctrl":
+                msg = queue.popleft()[1]
                 self.sim.schedule(
-                    self.costs.control_service_s, self._finish_control, msg
+                    costs.control_service_s, self._finish_control, msg
                 )
                 return
 
-            _, tup, remote, src_op = item
-            in_key_fn = self.in_key_fns.get(src_op)
-            in_key = in_key_fn(tup.values) if in_key_fn is not None else None
+            batch: List[tuple] = []
+            service = 0.0
+            while queue and queue[0][0] == "data" and len(batch) < batch_limit:
+                item = queue.popleft()
+                _, tup, remote, src_op = item
+                in_key_fn = get_key_fn(src_op)
+                in_key = (
+                    in_key_fn(tup.values) if in_key_fn is not None else None
+                )
 
-            if in_key is not None and in_key in self._held_keys:
-                # State not here yet: buffer without processing.
-                self._held_tuples.setdefault(in_key, []).append(item)
-                self.buffered_count += 1
-                continue
+                if in_key is not None and in_key in held_keys:
+                    # State not here yet: buffer without processing.
+                    self._held_tuples.setdefault(in_key, []).append(item)
+                    self.buffered_count += 1
+                    continue
 
-            service = self.costs.bolt_service_s
-            if remote:
-                service += self.costs.deser_cost(tup.size)
+                service += bolt_service_s
+                if remote:
+                    service += costs.deser_cost(tup.size)
 
-            context = self.make_context()
-            self.operator.process(tup, context)
-            emissions = context._drain()
-            plan = self._plan_emissions(emissions, tup.root_id)
-            service += plan.ser_cost
+                process(tup, context)
+                emissions = drain()
+                plan = self._plan_emissions(emissions, tup.root_id)
+                service += plan.ser_cost
 
-            if self.instrumentation is not None and in_key is not None:
-                for values in emissions:
-                    for edge in self.out_edges:
-                        if edge.key_fn is not None:
-                            self.instrumentation.observe(
-                                src_op,
-                                in_key,
-                                edge.stream_name,
-                                edge.key_fn(values),
-                            )
+                if self.instrumentation is not None and in_key is not None:
+                    for values in emissions:
+                        for edge in self.out_edges:
+                            if edge.key_fn is not None:
+                                self.instrumentation.observe(
+                                    src_op,
+                                    in_key,
+                                    edge.stream_name,
+                                    edge.key_fn(values),
+                                )
+                batch.append((tup, plan))
 
-            self.sim.schedule(service, self._finish_data, tup, plan)
-            return
+            if batch:
+                self.sim.schedule(service, self._finish_data, batch)
+                return
+            # Everything dequeued was buffered for held keys: keep
+            # draining (a control message may be next).
         self._busy = False
 
-    def _finish_data(self, tup: Tuple, plan: EmissionPlan) -> None:
+    def _finish_data(self, batch: List[tuple]) -> None:
         if self._crashed:
-            # Crashed mid-service: the tuple and its emissions are lost
-            # (never acked, so its tree will time out and replay).
+            # Crashed mid-service: the batch and its emissions are lost
+            # (never acked, so the trees will time out and replay).
             return
-        self._dispatch(plan)
-        self.metrics.on_processed(self.op_name, self.instance)
-        self.acker.on_processed(tup.root_id, len(plan))
+        on_processed = self.acker.on_processed
+        processed = self.metrics.processed
+        id_key = self._id_key
+        for tup, plan in batch:
+            self._dispatch(plan)
+            processed[id_key] += 1
+            on_processed(tup.root_id, len(plan.entries))
         self._process_next()
 
     def _finish_control(self, msg: ControlMessage) -> None:
@@ -463,18 +537,35 @@ class SpoutExecutor(BaseExecutor):
     # -- polling loop ------------------------------------------------------
 
     def _poll(self) -> None:
+        """One scheduled poll drains up to ``costs.spout_batch`` source
+        polls (replays first), so N emitted tuples cost one service
+        event instead of N. The credit check caps the batch at the
+        remaining ``max_pending`` budget; service time stays
+        ``spout_service_s`` per emission, so simulated rates match the
+        per-event loop."""
         if self._stopped or self._in_flight:
             return
         if self.pending >= self.max_pending:
             self._waiting_for_ack = True
             return
-        if self._replay:
-            emissions = [self._replay.popleft()]
-            self.replayed += 1
-        else:
-            context = self.make_context()
+        costs = self.costs
+        batch_limit = costs.spout_batch if costs.spout_batch > 0 else 1
+        emissions: List[tuple] = []
+        produced = False
+        while (
+            len(emissions) < batch_limit
+            and self.pending + len(emissions) < self.max_pending
+        ):
+            if self._replay:
+                emissions.append(self._replay.popleft())
+                self.replayed += 1
+                continue
+            context = self._context()
             produced = self.operator.next_tuple(context)
-            emissions = context._drain()
+            polled = context._drain()
+            if not polled:
+                break
+            emissions.extend(polled)
         if not emissions:
             if self.operator.finished:
                 if self.pending > 0:
@@ -485,19 +576,20 @@ class SpoutExecutor(BaseExecutor):
                 return
             if produced:
                 # Did work but emitted nothing: poll again immediately.
-                self.sim.schedule(self.costs.spout_service_s, self._poll)
+                self.sim.schedule(costs.spout_service_s, self._poll)
             else:
-                self.sim.schedule(self.costs.spout_idle_retry_s, self._poll)
+                self.sim.schedule(costs.spout_idle_retry_s, self._poll)
             return
 
-        service = self.costs.spout_service_s * len(emissions)
+        service = costs.spout_service_s * len(emissions)
         plans: List[EmissionPlan] = []
+        register = self.acker.register
         for values in emissions:
             plan = self._plan_emissions([values], root_id=None)
-            if len(plan) == 0:
+            if not plan.entries:
                 continue
             root_id = plan.entries[0][2].root_id
-            self.acker.register(
+            register(
                 root_id,
                 self._on_ack,
                 on_fail=lambda v=values: self._on_fail(v),
@@ -509,11 +601,13 @@ class SpoutExecutor(BaseExecutor):
         self.sim.schedule(service, self._finish_poll, plans)
 
     def _finish_poll(self, plans: List[EmissionPlan]) -> None:
+        on_processed = self.acker.on_processed
         for plan in plans:
             self._dispatch(plan)
             # The spout's virtual root tuple is now "processed", having
             # spawned len(plan) children (1 unless broadcasting).
-            self.acker.on_processed(plan.entries[0][2].root_id, len(plan))
+            entries = plan.entries
+            on_processed(entries[0][2].root_id, len(entries))
         self._in_flight = False
         self._drain_control()
         if not self._stopped:
@@ -527,8 +621,25 @@ class SpoutExecutor(BaseExecutor):
         if self.pending < 0:
             raise SimulationError(f"{self.name} pending went negative")
         if self._waiting_for_ack and not self._stopped:
-            self._waiting_for_ack = False
-            self._poll()
+            # Wake hysteresis: once the credit window is full the
+            # pipeline is ack-clocked — waking on every single ack
+            # would hand each poll a budget of exactly one credit and
+            # the batch below would never form. Let acks accumulate a
+            # batch worth of credit before resuming. Replays wake
+            # immediately (a timed-out tuple must not wait for credit
+            # that may never come) and so do finished spouts (the poll
+            # is what notices pending == 0 and stops the loop).
+            batch_limit = self.costs.spout_batch
+            wake_credit = min(
+                batch_limit if batch_limit > 0 else 1, self.max_pending
+            )
+            if (
+                self.max_pending - self.pending >= wake_credit
+                or self._replay
+                or self.operator.finished
+            ):
+                self._waiting_for_ack = False
+                self._poll()
 
     def _on_fail(self, values: tuple) -> None:
         """The tuple tree timed out: replay it (at-least-once)."""

@@ -48,6 +48,30 @@ def normalize_key_fn(key: KeySpec) -> Callable[[tuple], Any]:
 
 _MASK64 = (1 << 64) - 1
 
+#: Key types safe to use as memo keys. Scalars only: values of
+#: *different* scalar types are disambiguated by including the type in
+#: the memo key (``1``, ``1.0`` and ``True`` are equal as dict keys but
+#: have different reprs, hence different stable hashes). Containers are
+#: excluded because their *elements* can collide the same way
+#: (``(1,)`` vs ``(True,)``) without the outer type telling them apart.
+_SCALAR_KEY_TYPES = frozenset((str, bytes, int, float, bool, type(None)))
+
+#: Hot-key interning for :func:`stable_hash`: the repr/CRC/splitmix
+#: pipeline runs once per distinct (key, seed), not once per tuple.
+#: Bounded by wholesale clearing — with realistic key cardinalities the
+#: memo never fills; if it does, dropping it costs one recomputation
+#: per key and keeps results identical either way.
+_HASH_MEMO: dict = {}
+_HASH_MEMO_MAX = 1 << 17
+
+
+def _stable_hash_uncached(key: Any, seed: int) -> int:
+    data = repr(key).encode("utf-8", errors="backslashreplace")
+    x = (zlib.crc32(data) ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
 
 def stable_hash(key: Any, seed: int = 0) -> int:
     """Deterministic, process-independent hash of a key.
@@ -57,12 +81,71 @@ def stable_hash(key: Any, seed: int = 0) -> int:
     byte pattern would land at a constant XOR offset — catastrophically
     correlating the owners of paired keys), so a splitmix64 finalizer
     mixes the CRC with the seed non-linearly.
+
+    Results for scalar keys are interned in a bounded module-level
+    memo (the repr/encode/CRC/mix pipeline is the single hottest data-
+    plane cost); the memo is transparent — cached and uncached calls
+    return identical values.
     """
-    data = repr(key).encode("utf-8", errors="backslashreplace")
-    x = (zlib.crc32(data) ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return x ^ (x >> 31)
+    if key.__class__ in _SCALAR_KEY_TYPES:
+        memo_key = (key.__class__, key, seed)
+        cached = _HASH_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+        value = _stable_hash_uncached(key, seed)
+        if len(_HASH_MEMO) >= _HASH_MEMO_MAX:
+            _HASH_MEMO.clear()
+        _HASH_MEMO[memo_key] = value
+        return value
+    return _stable_hash_uncached(key, seed)
+
+
+def clear_stable_hash_memo() -> None:
+    """Drop the :func:`stable_hash` interning memo (test isolation)."""
+    _HASH_MEMO.clear()
+
+
+#: Default capacity of the per-router key→route caches; deployments
+#: size them via ``CostModel.router_cache_size``.
+DEFAULT_ROUTER_CACHE_SIZE = 4096
+
+
+class _RouteCache:
+    """Bounded LRU for key→route memoization.
+
+    Values are treated as immutable by callers (routers hand the cached
+    route list straight to the emission planner, which only iterates).
+    A hit reinserts the entry at the MRU end of the underlying dict, so
+    eviction drops the least recently *used* key, not the oldest.
+    """
+
+    __slots__ = ("_data", "_capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._data: dict = {}
+
+    def get(self, key):
+        data = self._data
+        value = data.get(key)
+        if value is not None:
+            del data[key]
+            data[key] = value
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self._capacity:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class RouterContext:
@@ -74,6 +157,7 @@ class RouterContext:
         "src_server",
         "dst_placements",
         "seed",
+        "cache_size",
     )
 
     def __init__(
@@ -83,12 +167,14 @@ class RouterContext:
         src_server: int,
         dst_placements: Sequence[int],
         seed: int,
+        cache_size: int = DEFAULT_ROUTER_CACHE_SIZE,
     ) -> None:
         self.stream_name = stream_name
         self.src_instance = src_instance
         self.src_server = src_server
         self.dst_placements = list(dst_placements)
         self.seed = seed
+        self.cache_size = cache_size
 
 
 class Router:
@@ -170,13 +256,32 @@ class LocalOrShuffleGrouping(Grouping):
 
 
 class _HashFieldsRouter(Router):
-    def __init__(self, key_fn, num_destinations: int, seed: int) -> None:
+    """Hash fields router with a bounded key→route LRU: the hash/mod
+    and the route-list allocation run once per distinct hot key. Pure
+    function of the key, so the cache never needs invalidation."""
+
+    def __init__(
+        self,
+        key_fn,
+        num_destinations: int,
+        seed: int,
+        cache_size: int = DEFAULT_ROUTER_CACHE_SIZE,
+    ) -> None:
         self._key_fn = key_fn
         self._n = num_destinations
         self._seed = seed
+        self._cache = _RouteCache(cache_size) if cache_size > 0 else None
 
     def select(self, values: tuple) -> List[int]:
         key = self._key_fn(values)
+        cache = self._cache
+        if cache is not None and key.__class__ in _SCALAR_KEY_TYPES:
+            memo_key = (key.__class__, key)
+            route = cache.get(memo_key)
+            if route is None:
+                route = [stable_hash(key, self._seed) % self._n]
+                cache.put(memo_key, route)
+            return route
         return [stable_hash(key, self._seed) % self._n]
 
 
@@ -195,7 +300,10 @@ class FieldsGrouping(Grouping):
 
     def build_router(self, context: RouterContext) -> Router:
         return _HashFieldsRouter(
-            self.key_fn, len(context.dst_placements), context.seed
+            self.key_fn,
+            len(context.dst_placements),
+            context.seed,
+            cache_size=context.cache_size,
         )
 
 
@@ -215,24 +323,38 @@ class TableRouter(Router):
     longer covers the traffic, the Fig. 12 unseen-keys effect).
     """
 
-    def __init__(self, key_fn, num_destinations: int, seed: int, table) -> None:
+    def __init__(
+        self,
+        key_fn,
+        num_destinations: int,
+        seed: int,
+        table,
+        cache_size: int = DEFAULT_ROUTER_CACHE_SIZE,
+    ) -> None:
         self._key_fn = key_fn
         self._n = num_destinations
         self._seed = seed
         self._table = table
         self.table_hits = 0
         self.hash_fallbacks = 0
+        #: key→(route, table_hit) LRU; MUST be dropped whenever the
+        #: table changes — a stale cached destination would silently
+        #: undo a reconfiguration (see DESIGN.md §10 invalidation rules)
+        self._cache = _RouteCache(cache_size) if cache_size > 0 else None
 
     @property
     def table(self):
         return self._table
 
     def update_table(self, table) -> None:
-        """Hot-swap the routing table (reconfiguration step 5)."""
+        """Hot-swap the routing table (reconfiguration step 5). Drops
+        the route cache: every key re-resolves against the new table."""
         self._table = table
+        if self._cache is not None:
+            self._cache.clear()
 
-    def select(self, values: tuple) -> List[int]:
-        key = self._key_fn(values)
+    def _route(self, key) -> tuple:
+        """Uncached decision: (route list, came-from-table flag)."""
         if self._table is not None:
             instance = self._table.lookup(key)
             if instance is not None:
@@ -241,10 +363,31 @@ class TableRouter(Router):
                         f"routing table maps {key!r} to instance {instance}, "
                         f"but stream has {self._n} destinations"
                     )
+                return ([instance], True)
+        return ([stable_hash(key, self._seed) % self._n], False)
+
+    def select(self, values: tuple) -> List[int]:
+        key = self._key_fn(values)
+        cache = self._cache
+        if cache is not None and key.__class__ in _SCALAR_KEY_TYPES:
+            memo_key = (key.__class__, key)
+            entry = cache.get(memo_key)
+            if entry is None:
+                entry = self._route(key)
+                cache.put(memo_key, entry)
+            # Count per select, not per cache fill: the hit/fallback
+            # split the telemetry layer exports stays per-tuple exact.
+            if entry[1]:
                 self.table_hits += 1
-                return [instance]
-        self.hash_fallbacks += 1
-        return [stable_hash(key, self._seed) % self._n]
+            else:
+                self.hash_fallbacks += 1
+            return entry[0]
+        route, table_hit = self._route(key)
+        if table_hit:
+            self.table_hits += 1
+        else:
+            self.hash_fallbacks += 1
+        return route
 
 
 class TableFieldsGrouping(Grouping):
@@ -260,6 +403,7 @@ class TableFieldsGrouping(Grouping):
             len(context.dst_placements),
             context.seed,
             self.initial_table,
+            cache_size=context.cache_size,
         )
 
 
@@ -296,18 +440,44 @@ class BroadcastGrouping(Grouping):
 
 
 class _PartialKeyRouter(Router):
-    def __init__(self, key_fn, num_destinations: int, seed: int) -> None:
+    """Partial-key router caching each key's *two hash candidates*.
+    Only the pure hash pair is memoized — the final pick depends on the
+    live per-destination send counts, so it is always recomputed."""
+
+    def __init__(
+        self,
+        key_fn,
+        num_destinations: int,
+        seed: int,
+        cache_size: int = DEFAULT_ROUTER_CACHE_SIZE,
+    ) -> None:
         self._key_fn = key_fn
         self._n = num_destinations
         self._seed = seed
         self._sent = [0] * num_destinations
+        self._cache = _RouteCache(cache_size) if cache_size > 0 else None
+
+    def _candidates(self, key) -> tuple:
+        return (
+            stable_hash(key, self._seed) % self._n,
+            stable_hash(key, self._seed + 0x9E3779B9) % self._n,
+        )
 
     def select(self, values: tuple) -> List[int]:
         key = self._key_fn(values)
-        first = stable_hash(key, self._seed) % self._n
-        second = stable_hash(key, self._seed + 0x9E3779B9) % self._n
-        dst = first if self._sent[first] <= self._sent[second] else second
-        self._sent[dst] += 1
+        cache = self._cache
+        if cache is not None and key.__class__ in _SCALAR_KEY_TYPES:
+            memo_key = (key.__class__, key)
+            pair = cache.get(memo_key)
+            if pair is None:
+                pair = self._candidates(key)
+                cache.put(memo_key, pair)
+            first, second = pair
+        else:
+            first, second = self._candidates(key)
+        sent = self._sent
+        dst = first if sent[first] <= sent[second] else second
+        sent[dst] += 1
         return [dst]
 
 
@@ -325,7 +495,10 @@ class PartialKeyGrouping(Grouping):
 
     def build_router(self, context: RouterContext) -> Router:
         return _PartialKeyRouter(
-            self.key_fn, len(context.dst_placements), context.seed
+            self.key_fn,
+            len(context.dst_placements),
+            context.seed,
+            cache_size=context.cache_size,
         )
 
 

@@ -124,11 +124,9 @@ class Network:
         self._nics: dict = {}
         self.messages_sent = 0
         self.bytes_sent = 0
-        #: per-link transfer volume: (src server, dst server) → bytes —
-        #: lets telemetry attribute wire traffic (e.g. a migration
-        #: burst) to the specific link that carried it
-        self.link_bytes: dict = {}
-        self.link_messages: dict = {}
+        # per-link [bytes, messages], one dict lookup per transfer;
+        # exposed as the link_bytes / link_messages views below
+        self._link_stats: dict = {}
         #: optional hook ``fn(src, dst, nbytes, fn, args) -> float``
         #: returning extra propagation latency (seconds) for this
         #: transfer; None or 0.0 leaves the transfer untouched. Extra
@@ -136,6 +134,18 @@ class Network:
         #: relative to other senders — exactly the imperfection the
         #: fault-injection layer (repro.faults) exercises.
         self.fault_hook: Optional[Callable] = None
+
+    @property
+    def link_bytes(self) -> dict:
+        """Per-link transfer volume: (src server, dst server) → bytes —
+        lets telemetry attribute wire traffic (e.g. a migration burst)
+        to the specific link that carried it."""
+        return {link: stats[0] for link, stats in self._link_stats.items()}
+
+    @property
+    def link_messages(self) -> dict:
+        """Per-link message counts: (src server, dst server) → count."""
+        return {link: stats[1] for link, stats in self._link_stats.items()}
 
     def attach(self, server) -> Nic:
         """Create (or return) the NIC for a server."""
@@ -165,8 +175,11 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += nbytes
         link = (src.index, dst.index)
-        self.link_bytes[link] = self.link_bytes.get(link, 0) + nbytes
-        self.link_messages[link] = self.link_messages.get(link, 0) + 1
+        stats = self._link_stats.get(link)
+        if stats is None:
+            stats = self._link_stats[link] = [0, 0]
+        stats[0] += nbytes
+        stats[1] += 1
         latency = self.latency_between(src, dst)
         if self.fault_hook is not None:
             extra = self.fault_hook(src, dst, nbytes, fn, args)

@@ -169,9 +169,10 @@ def deploy(
                 src_server=src_executor.server.index,
                 dst_placements=dst_placements,
                 seed=seed,
+                cache_size=costs.router_cache_size,
             )
             router = stream.grouping.build_router(context)
-            src_executor.out_edges.append(
+            src_executor.add_out_edge(
                 OutEdge(stream.name, router, list(destinations), key_fn)
             )
         if key_fn is not None:

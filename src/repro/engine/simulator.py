@@ -1,16 +1,21 @@
 """Discrete-event simulation core.
 
-A minimal, fast event loop: events are ``(time, sequence, callback)``
+A minimal, fast event loop: events are ``(time, sequence, Event)``
 entries in a binary heap. Ties in time are broken by insertion order,
 which gives deterministic FIFO semantics for same-instant events — the
 reconfiguration protocol relies on this for its channel ordering.
+
+Heap entries are plain tuples so ordering is decided by C-level
+``(float, int)`` comparison; with millions of sift comparisons per run,
+a Python-level ``__lt__`` on the event object would dominate the loop
+(it did, before this was changed — see DESIGN.md §10).
 """
 
 from __future__ import annotations
 
 import heapq
 import zlib
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -19,7 +24,7 @@ class Event:
     """A scheduled callback. Returned by :meth:`Simulator.schedule` so
     callers can cancel it."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon", "_sim")
 
     def __init__(
         self,
@@ -28,6 +33,7 @@ class Event:
         fn: Callable,
         args: tuple,
         daemon: bool = False,
+        sim: Optional["Simulator"] = None,
     ):
         self.time = time
         self.seq = seq
@@ -35,9 +41,21 @@ class Event:
         self.args = args
         self.cancelled = False
         self.daemon = daemon
+        self._sim = sim
 
     def cancel(self) -> None:
+        """Cancel the event (idempotent). The owning simulator's live
+        and cancelled counters are updated *eagerly* so that
+        :attr:`Simulator.pending_events` stays O(1); the heap entry
+        itself is discarded lazily when it reaches the top."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._cancelled += 1
+            if not self.daemon:
+                sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -53,13 +71,16 @@ class Simulator:
     """Event loop with a simulated clock (seconds as float)."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        #: heap of (time, seq, Event) — tuple-ordered, see module doc
+        self._heap: List[Tuple[float, int, Event]] = []
         self._now = 0.0
         self._seq = 0
         self._executed = 0
-        #: queued non-daemon events (cancelled ones are counted until
-        #: their heap entry is popped — cancellation is lazy)
+        #: queued non-daemon, non-cancelled events (cancel() decrements
+        #: eagerly; popping a cancelled entry must NOT decrement again)
         self._live = 0
+        #: cancelled events whose heap entry has not been popped yet
+        self._cancelled = 0
         #: optional hook ``fn(event) -> bool`` consulted before each
         #: event runs; returning False consumes the event (it neither
         #: executes nor counts). Used by repro.faults to drop or defer
@@ -111,7 +132,9 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Queued non-cancelled events — O(1): the telemetry layer
+        samples this on every snapshot, so it must not scan the heap."""
+        return len(self._heap) - self._cancelled
 
     def stats(self) -> dict:
         """Event-loop health counters, exported by the telemetry layer
@@ -141,7 +164,16 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        return self.schedule_at(self._now + delay, fn, *args, daemon=daemon)
+        # Inlined schedule_at (this is the hottest scheduling entry
+        # point; now + non-negative delay can never land in the past).
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, daemon=daemon, sim=self)
+        if not daemon:
+            self._live += 1
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
 
     def schedule_at(
         self, time: float, fn: Callable, *args: Any, daemon: bool = False
@@ -151,11 +183,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}"
             )
-        event = Event(time, self._seq, fn, args, daemon=daemon)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, daemon=daemon, sim=self)
         if not daemon:
             self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     # ------------------------------------------------------------------
@@ -165,11 +198,13 @@ class Simulator:
     def step(self) -> bool:
         """Run the next event. Returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
+            event._sim = None  # popped: a late cancel() is a no-op
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
             if not event.daemon:
                 self._live -= 1
-            if event.cancelled:
-                continue
             self._now = event.time
             if self.interceptor is not None and not self.interceptor(event):
                 self.intercepted += 1
@@ -198,20 +233,23 @@ class Simulator:
         """
         executed = 0
         heap = self._heap
+        pop = heapq.heappop
         while heap:
             if until is None and self._live <= 0:
                 break
-            event = heap[0]
+            entry = heap[0]
+            event = entry[2]
             if event.cancelled:
-                heapq.heappop(heap)
-                if not event.daemon:
-                    self._live -= 1
+                pop(heap)
+                event._sim = None
+                self._cancelled -= 1
                 continue
-            if until is not None and event.time > until:
+            if until is not None and entry[0] > until:
                 break
             if max_events is not None and executed >= max_events:
                 break
-            heapq.heappop(heap)
+            pop(heap)
+            event._sim = None  # popped: a late cancel() is a no-op
             if not event.daemon:
                 self._live -= 1
             self._now = event.time

@@ -55,6 +55,10 @@ class FlickrWorkload:
         self._countries = ZipfSampler(
             config.num_countries, config.country_exponent
         )
+        #: tag → home country memo: the mapping is a pure function of
+        #: (config seed, tag), and deriving the RNG per draw was the
+        #: single hottest line of the Fig. 13 pipeline
+        self._homes: dict = {}
 
     def tag_name(self, rank: int) -> str:
         return f"tag{rank}"
@@ -64,8 +68,12 @@ class FlickrWorkload:
 
     def home_country(self, tag: str) -> str:
         """The (stable) country a tag correlates with."""
-        rng = derived_rng(self.config.seed, "home", tag)
-        return self.country_name(self._countries.sample(rng))
+        country = self._homes.get(tag)
+        if country is None:
+            rng = derived_rng(self.config.seed, "home", tag)
+            country = self.country_name(self._countries.sample(rng))
+            self._homes[tag] = country
+        return country
 
     # ------------------------------------------------------------------
     # Data generation

@@ -1,0 +1,178 @@
+"""Router cache correctness: memoized routing must be observably
+identical to uncached routing.
+
+The caches (DESIGN.md §10) are transparent memoization — same routes,
+same counters, same event sequences. These tests pin the transparency
+properties the data-plane fast path relies on: cache/uncached
+equivalence on randomized key streams, invalidation on table swap,
+per-select counter exactness, LRU bounding, and type-disambiguated
+memo keys (``1``, ``1.0`` and ``True`` are equal as dict keys but hash
+to different destinations).
+"""
+
+import random
+
+import pytest
+
+from repro.core.routing_table import RoutingTable
+from repro.engine.cluster import Cluster
+from repro.engine.grouping import (
+    FieldsGrouping,
+    PartialKeyGrouping,
+    RouterContext,
+    TableFieldsGrouping,
+    TableRouter,
+    _RouteCache,
+    clear_stable_hash_memo,
+    stable_hash,
+)
+from repro.engine.runner import deploy
+from repro.engine.simulator import Simulator
+from repro.workloads.flickr import FlickrConfig, FlickrWorkload
+
+
+def _context(n_dst: int, cache_size: int) -> RouterContext:
+    return RouterContext(
+        stream_name="s",
+        src_instance=0,
+        src_server=0,
+        dst_placements=list(range(n_dst)),
+        seed=stable_hash("s"),
+        cache_size=cache_size,
+    )
+
+
+def _key_stream(count: int, seed: int = 7):
+    rng = random.Random(seed)
+    keys = []
+    for _ in range(count):
+        kind = rng.randrange(6)
+        if kind == 0:
+            keys.append(f"tag{rng.randrange(50)}")
+        elif kind == 1:
+            keys.append(rng.randrange(100))
+        elif kind == 2:
+            keys.append(float(rng.randrange(100)))
+        elif kind == 3:
+            keys.append(rng.random() < 0.5)
+        elif kind == 4:
+            keys.append(None)
+        else:
+            # Non-scalar keys take the uncached path.
+            keys.append((rng.randrange(10), f"k{rng.randrange(10)}"))
+    return keys
+
+
+@pytest.mark.parametrize(
+    "grouping_factory",
+    [
+        lambda: FieldsGrouping(0),
+        lambda: TableFieldsGrouping(
+            0, table=RoutingTable({f"tag{i}": i % 5 for i in range(0, 50, 2)})
+        ),
+        lambda: PartialKeyGrouping(0),
+    ],
+    ids=["fields", "table-fields", "partial-key"],
+)
+def test_cached_routing_matches_uncached(grouping_factory):
+    """Randomized key stream: the cached router and a cache-disabled
+    twin must make identical decisions at every step (partial-key
+    routing is stateful, so step-by-step comparison is the real test)."""
+    cached = grouping_factory().build_router(_context(5, cache_size=64))
+    uncached = grouping_factory().build_router(_context(5, cache_size=0))
+    for key in _key_stream(3000):
+        assert cached.select((key,)) == uncached.select((key,))
+
+
+def test_table_router_cache_invalidated_on_update_table():
+    grouping = TableFieldsGrouping(0, table=RoutingTable({"a": 1, "b": 2}))
+    router = grouping.build_router(_context(5, cache_size=64))
+    assert router.select(("a",)) == [1]
+    assert router.select(("a",)) == [1]  # served from cache
+
+    router.update_table(RoutingTable({"a": 3}))
+    assert router.select(("a",)) == [3]
+    # "b" left the table: must fall back to hashing, not the old cache.
+    assert router.select(("b",)) == [stable_hash("b", router._seed) % 5]
+
+
+def test_table_router_counters_exact_with_caching():
+    """table_hits / hash_fallbacks count per select, not per cache
+    fill — the telemetry layer exports the per-tuple split."""
+    table = RoutingTable({"hot": 0})
+    cached = TableRouter(lambda v: v[0], 4, 1, table, cache_size=16)
+    bare = TableRouter(lambda v: v[0], 4, 1, table, cache_size=0)
+    keys = ["hot", "hot", "cold", "hot", "cold", "cold", "hot"]
+    for key in keys:
+        cached.select((key,))
+        bare.select((key,))
+    assert cached.table_hits == bare.table_hits == 4
+    assert cached.hash_fallbacks == bare.hash_fallbacks == 3
+
+
+def test_route_cache_is_bounded_lru():
+    cache = _RouteCache(3)
+    for i in range(3):
+        cache.put(i, [i])
+    assert len(cache) == 3
+    cache.get(0)  # 0 becomes MRU; 1 is now the LRU entry
+    cache.put(3, [3])
+    assert len(cache) == 3
+    assert cache.get(1) is None
+    assert cache.get(0) == [0]
+    assert cache.get(3) == [3]
+
+
+def test_equal_keys_of_different_types_do_not_collide():
+    """1 == 1.0 == True as dict keys, but their reprs (hence hashes)
+    differ: the memo key must include the type."""
+    router = FieldsGrouping(0).build_router(_context(1000, cache_size=64))
+    routes = {
+        kind: router.select((key,))[0]
+        for kind, key in (("int", 1), ("float", 1.0), ("bool", True))
+    }
+    expected = {
+        kind: stable_hash(key, router._seed) % 1000
+        for kind, key in (("int", 1), ("float", 1.0), ("bool", True))
+    }
+    assert routes == expected
+    # Sanity: with 1000 destinations the three reprs land apart.
+    assert len(set(expected.values())) > 1
+
+
+def test_stable_hash_memo_is_transparent():
+    clear_stable_hash_memo()
+    keys = ["x", b"x", 42, 42.0, True, None, ("t", 1)]
+    cold = [stable_hash(k, seed=9) for k in keys]
+    warm = [stable_hash(k, seed=9) for k in keys]
+    assert cold == warm
+    clear_stable_hash_memo()
+    assert [stable_hash(k, seed=9) for k in keys] == cold
+
+
+def _fig13_fingerprint(cache_size: int) -> tuple:
+    from repro.engine.costs import DEFAULT_COSTS
+
+    workload = FlickrWorkload(FlickrConfig(num_tags=200, seed=3))
+    topology = workload.topology(parallelism=3, tuples_per_instance=400)
+    sim = Simulator()
+    sim.enable_fingerprint()
+    cluster = Cluster(sim, 3, bandwidth_gbps=1.0)
+    deployment = deploy(
+        sim,
+        cluster,
+        topology,
+        costs=DEFAULT_COSTS.with_overrides(router_cache_size=cache_size),
+    )
+    deployment.start()
+    sim.run()
+    processed = dict(deployment.metrics.processed)
+    return sim.fingerprint, sim.events_executed, processed
+
+
+def test_fingerprint_unchanged_with_caching_enabled():
+    """End to end: routing caches must not move a single event — the
+    event-sequence fingerprint with caches on equals caches off."""
+    with_cache = _fig13_fingerprint(4096)
+    without_cache = _fig13_fingerprint(0)
+    assert with_cache == without_cache

@@ -143,3 +143,51 @@ def test_cancelled_event_does_not_block_daemon_drain():
     event.cancel()
     sim.run()
     assert sim.now <= 5.0
+
+
+def test_pending_events_counts_eagerly_on_cancel():
+    """pending_events is O(1) (live counters, not a heap scan) and a
+    cancel is reflected immediately, before the lazy heap pop."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_events == 5
+    events[2].cancel()
+    events[4].cancel()
+    assert sim.pending_events == 3
+    events[2].cancel()  # idempotent: counted once
+    assert sim.pending_events == 3
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    """Callers may hold on to a timer and cancel it after it fired
+    (the acker and manager do); a late cancel must not corrupt the
+    pending-event counters."""
+    sim = Simulator()
+    fired = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert sim.pending_events == 1
+    fired.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_pending_events_matches_heap_during_mixed_run():
+    """Counter consistency under interleaved schedule/cancel/step: the
+    O(1) count always equals a brute-force scan of the heap."""
+    import random
+
+    rng = random.Random(11)
+    sim = Simulator()
+    live = []
+    for round_no in range(40):
+        for _ in range(rng.randrange(4)):
+            live.append(sim.schedule(rng.random() * 5.0, lambda: None))
+        if live and rng.random() < 0.5:
+            live.pop(rng.randrange(len(live))).cancel()
+        sim.step()
+        brute = sum(1 for _, _, e in sim._heap if not e.cancelled)
+        assert sim.pending_events == brute

@@ -1,0 +1,138 @@
+"""Record engine benchmark results as a committed perf trajectory.
+
+``BENCH_engine.json`` at the repo root holds the engine's measured
+wall-clock performance over time:
+
+- ``baseline`` — the reference numbers a regression gate compares
+  against (recorded once per optimization PR, from the pre-change
+  tree);
+- ``current`` — the most recent measurement of the committed tree;
+- ``history`` — every recorded entry, append-only, so successive PRs
+  leave a trajectory instead of overwriting each other.
+
+All throughput metrics (``*_per_s``) are higher-is-better wall-clock
+rates; ``compare`` only judges those, with a configurable tolerance,
+because absolute numbers shift between machines while *ratios* within
+one run of the suite are stable.
+
+Used by ``benchmarks/bench_engine.py`` (which can also be run as a
+CLI) and by the ``engine-bench`` CI job.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+
+#: default location: repo root, next to this file's parent directory
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_engine.json",
+)
+
+
+def git_commit(cwd: Optional[str] = None) -> str:
+    """Current commit hash, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd or os.path.dirname(DEFAULT_PATH),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def load(path: str = DEFAULT_PATH) -> Dict:
+    """Load the trajectory file, or an empty skeleton if absent."""
+    if os.path.exists(path):
+        with open(path) as handle:
+            return json.load(handle)
+    return {
+        "schema": SCHEMA_VERSION,
+        "note": (
+            "Engine wall-clock performance trajectory. *_per_s metrics "
+            "are higher-is-better rates measured by "
+            "benchmarks/bench_engine.py; regenerate with "
+            "PYTHONPATH=src python benchmarks/bench_engine.py --record current"
+        ),
+        "baseline": None,
+        "current": None,
+        "history": [],
+    }
+
+
+def record(
+    metrics: Dict[str, float],
+    role: str = "current",
+    label: str = "",
+    path: str = DEFAULT_PATH,
+) -> Dict:
+    """Record one measurement under ``role`` ("baseline" or "current").
+
+    The entry is also appended to ``history``. Returns the full
+    document after writing it back to ``path``.
+    """
+    if role not in ("baseline", "current"):
+        raise ValueError(f"role must be 'baseline' or 'current': {role!r}")
+    doc = load(path)
+    entry = {
+        "label": label or role,
+        "role": role,
+        "commit": git_commit(),
+        "recorded_utc": datetime.datetime.now(
+            datetime.timezone.utc
+        ).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+    }
+    doc[role] = entry
+    doc.setdefault("history", []).append(entry)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return doc
+
+
+def compare(
+    baseline_metrics: Dict[str, float],
+    metrics: Dict[str, float],
+    tolerance: float = 0.20,
+) -> List[str]:
+    """Regression messages for every rate metric that dropped more than
+    ``tolerance`` below the baseline. Empty list means no regression."""
+    regressions = []
+    for key, base in sorted(baseline_metrics.items()):
+        if not key.endswith("_per_s"):
+            continue
+        now = metrics.get(key)
+        if now is None:
+            regressions.append(f"{key}: missing from current run")
+            continue
+        if base > 0 and now < base * (1.0 - tolerance):
+            regressions.append(
+                f"{key}: {now:,.0f}/s is {now / base:.2f}x of baseline "
+                f"{base:,.0f}/s (allowed >= {1.0 - tolerance:.2f}x)"
+            )
+    return regressions
+
+
+def speedup(
+    baseline_metrics: Dict[str, float],
+    metrics: Dict[str, float],
+    key: str,
+) -> float:
+    """current/baseline ratio for one metric (0.0 if unavailable)."""
+    base = baseline_metrics.get(key, 0.0)
+    now = metrics.get(key, 0.0)
+    if not base:
+        return 0.0
+    return now / base

@@ -42,7 +42,7 @@ for _sub in ("src", "tools", "benchmarks"):
 import bench_record
 from helpers import save_table
 from repro.analysis.report import format_table
-from repro.core import Manager, ManagerConfig
+from repro.core import ElasticityController, Manager, ManagerConfig
 from repro.core.routing_table import RoutingTable
 from repro.engine import Cluster, Simulator, deploy
 from repro.engine.grouping import (
@@ -215,6 +215,56 @@ def bench_emission_planning(n: int) -> float:
 
 
 # ----------------------------------------------------------------------
+# Elasticity-seam overhead (gated here: the rescale machinery must be
+# free when the controller is not started)
+# ----------------------------------------------------------------------
+
+#: documented ceiling for the disabled-controller overhead
+ELASTICITY_BUDGET = 0.03
+
+
+def _elasticity_run(with_controller: bool, duration_s: float) -> float:
+    """CPU seconds for one reconfiguring pipeline run, optionally with
+    an ElasticityController constructed (registry hooks registered)
+    but never started — the disabled-by-default configuration."""
+    workload = FlickrWorkload(FlickrConfig())
+    sim = Simulator()
+    cluster = Cluster(sim, PARALLELISM, bandwidth_gbps=BANDWIDTH_GBPS)
+    deployment = deploy(
+        sim, cluster, workload.topology(PARALLELISM, padding=PADDING)
+    )
+    manager = Manager(
+        deployment,
+        ManagerConfig(period_s=duration_s / 3.0, sketch_capacity=100_000),
+    )
+    if with_controller:
+        ElasticityController(manager)  # constructed, never started
+    manager.start()
+    deployment.start()
+    start = time.process_time()
+    sim.run(until=duration_s)
+    return time.process_time() - start
+
+
+def bench_elasticity_overhead() -> float:
+    """Median paired-ratio CPU overhead of the elasticity seams with
+    the controller disabled (same method as bench_observability: the
+    two modes run back-to-back per round, the median ratio discards
+    rounds that caught machine-state noise)."""
+    duration = 0.4 if _quick() else 0.8
+    repeats = 5 if _quick() else 9
+    for flag in (False, True):
+        _elasticity_run(flag, 0.2)  # warmup
+    ratios = []
+    for _ in range(repeats):
+        bare = _elasticity_run(False, duration)
+        armed = _elasticity_run(True, duration)
+        ratios.append(armed / bare)
+    ratios.sort()
+    return ratios[len(ratios) // 2] - 1.0
+
+
+# ----------------------------------------------------------------------
 # Telemetry overhead (informational here; gated by bench_observability)
 # ----------------------------------------------------------------------
 
@@ -250,6 +300,7 @@ def run_suite(include_overhead: bool = True) -> Dict[str, float]:
     metrics.update(bench_routers(n))
     if include_overhead:
         metrics["telemetry_overhead_frac"] = bench_telemetry_overhead()
+        metrics["elasticity_overhead_frac"] = bench_elasticity_overhead()
     return metrics
 
 
@@ -295,6 +346,22 @@ def test_engine_suite_and_regression_gate():
         baseline["metrics"], metrics, tolerance=0.20
     )
     assert not regressions, "\n".join(regressions)
+
+
+def test_elasticity_seams_overhead_within_budget():
+    """The rescale seams (spawn/retire observers, resizable routers,
+    queue-depth probes) must be free until the controller is started:
+    a run with a constructed-but-disabled ElasticityController stays
+    within the documented <3 % CPU budget of a run without one."""
+    overhead = bench_elasticity_overhead()
+    print(
+        f"\nelasticity seams overhead (controller disabled): "
+        f"{overhead:+.2%}"
+    )
+    assert overhead < ELASTICITY_BUDGET, (
+        f"disabled-controller overhead {overhead:.1%} exceeds the "
+        f"{ELASTICITY_BUDGET:.0%} budget"
+    )
 
 
 def test_plan_emissions_computes_payload_size_once(monkeypatch):

@@ -29,6 +29,11 @@ from repro.core.assignment import (
     expected_locality,
     plan_reconfiguration,
 )
+from repro.core.elasticity import (
+    ElasticityConfig,
+    ElasticityController,
+    ScalingDecision,
+)
 from repro.core.instrumentation import PairTracker
 from repro.core.keygraph import KeyGraph
 from repro.core.manager import Manager, ManagerConfig
@@ -46,5 +51,8 @@ __all__ = [
     "plan_reconfiguration",
     "Manager",
     "ManagerConfig",
+    "ElasticityController",
+    "ElasticityConfig",
+    "ScalingDecision",
     "offline_tables",
 ]

@@ -30,13 +30,15 @@ from repro.core.instrumentation import PairTracker
 from repro.core.keygraph import KeyGraph
 from repro.core.reconfiguration import (
     PROPAGATE,
+    EdgeUpdate,
     PoiReconfiguration,
     ReconfigurationAgent,
+    RescaleSpec,
     install_agents,
 )
 from repro.core.routing_table import RoutingTable
 from repro.engine.executor import ControlMessage, SpoutExecutor
-from repro.engine.grouping import TableFieldsGrouping
+from repro.engine.grouping import TableFieldsGrouping, stable_hash
 from repro.engine.operators import StatefulBolt
 from repro.errors import ReconfigurationError
 from repro.observability.sink import NULL_SINK
@@ -70,6 +72,10 @@ class ManagerConfig:
     #: reconfiguration is only deployed if its projected benefit covers
     #: the migration cost (the paper's future-work extension).
     estimator: Optional[object] = None
+    #: Poll interval of the scale-out rollback drain watcher: after an
+    #: aborted scale-out, doomed instances are evacuated only once
+    #: their queues stay quiet for two consecutive polls.
+    rescale_drain_poll_s: float = 2.0e-3
 
 
 @dataclass
@@ -94,12 +100,43 @@ class RoundRecord:
     #: the key graph this round partitioned (None for skipped rounds);
     #: kept so invariant checkers can audit the balance constraint
     keygraph: Optional[object] = field(default=None, repr=False)
+    #: set on rescale rounds: tier parallelism before / requested after
+    rescale_from: Optional[int] = None
+    rescale_to: Optional[int] = None
+    #: instances spawned / retired when the rescale committed
+    rescale_spawned: int = 0
+    rescale_retired: int = 0
+    #: aborted scale-out fully rolled back (doomed instances drained,
+    #: state evacuated, instance set restored)
+    rescale_rolled_back: bool = False
+
+    @property
+    def is_rescale(self) -> bool:
+        return self.rescale_to is not None
 
     @property
     def duration_s(self) -> Optional[float]:
         if self.completed_at is None:
             return None
         return self.completed_at - self.started_at
+
+
+@dataclass
+class _RescaleContext:
+    """Everything the commit/abort paths of a rescale round need."""
+
+    #: rescaled stateful operators, topological order
+    ops: List[str]
+    old_k: int
+    new_k: int
+    #: instances live during the round: 0..union_k-1 per rescaled op
+    union_k: int
+    #: executors created for this rescale (empty on scale-in)
+    spawned: List
+    #: executors this rescale retires at commit (empty on scale-out)
+    retiring: List
+    #: post-rescale routed-stream view (swapped in at commit)
+    new_streams: List[RoutedStream]
 
 
 class Manager:
@@ -139,6 +176,19 @@ class Manager:
         #: live spans of the in-flight round, by phase name
         self._round_spans: Dict[str, object] = {}
         self._propagated_outstanding = 0
+        # -- elastic rescaling state ------------------------------------
+        #: requested new parallelism, pending until the round plans
+        self._rescale_request: Optional[int] = None
+        #: context of the in-flight rescale round (None otherwise)
+        self._rescale_ctx: Optional[_RescaleContext] = None
+        #: an aborted scale-out is still draining its doomed instances
+        self._rollback_pending = False
+        #: op → {key → holder instance}, gathered by the inventory RPCs
+        self._inventory: Dict[str, Dict] = {}
+        self._inventory_outstanding = 0
+        #: operator names carrying a PairTracker (so rescale can
+        #: instrument the instances it spawns)
+        self._instrumented_ops: set = set()
         self._install()
         registry = self.deployment.metrics.registry
         registry.register_callback(
@@ -206,6 +256,7 @@ class Manager:
                 s.name in routed_names for s in topology.outputs_of(op.name)
             )
             if has_keyed_input and has_routed_output:
+                self._instrumented_ops.add(op.name)
                 for executor in self.deployment.instances(op.name):
                     executor.instrumentation = PairTracker(
                         op.name,
@@ -260,9 +311,10 @@ class Manager:
         """Begin one asynchronous reconfiguration round.
 
         Returns False (and does nothing) when a round is already in
-        flight. ``on_complete(record)`` fires when the round finishes.
+        flight or an aborted scale-out is still rolling back.
+        ``on_complete(record)`` fires when the round finishes.
         """
-        if self._round_active:
+        if self._round_active or self._rollback_pending:
             return False
         self._round_active = True
         self._round_id += 1
@@ -284,6 +336,8 @@ class Manager:
         self._stats = {}
         self._tables_before_round = dict(self.current_tables)
         self._collect_outstanding = len(self._instrumented)
+        self._inventory = {}
+        self._inventory_outstanding = 0
         if self.config.round_timeout_s is not None:
             self._deadline = self.sim.schedule(
                 self.config.round_timeout_s, self._on_round_deadline, round_id
@@ -291,11 +345,97 @@ class Manager:
         latency = self.config.rpc_latency_s
         for executor in self._instrumented:  # step 1: GET_METRICS
             self.sim.schedule(latency, self._rpc_get_metrics, executor, round_id)
+        if self._rescale_request is not None:
+            # Rescale rounds add an inventory leg: ask every stateful
+            # instance of the rescaled tier which keys it holds, so the
+            # plan can derive hold lists (table diffs cannot — the
+            # fallback modulus changes with k).
+            record.rescale_from = self._tier_parallelism()
+            record.rescale_to = self._rescale_request
+            targets = [
+                executor
+                for op_name in self._rescale_stateful_ops()
+                for executor in self.deployment.instances(op_name)
+            ]
+            self._inventory_outstanding = len(targets)
+            for executor in targets:
+                self.sim.schedule(
+                    latency, self._rpc_get_inventory, executor, round_id
+                )
         return True
+
+    def rescale(
+        self, new_parallelism: int, on_complete: Optional[Callable] = None
+    ) -> bool:
+        """Begin an elastic rescale round: resize every stateful routed
+        destination tier to ``new_parallelism`` instances, spawning or
+        retiring executors and migrating state through Algorithm 1.
+
+        Returns False when a round is already in flight, a rollback is
+        still draining, or the tier already has that parallelism.
+        """
+        if new_parallelism < 1:
+            raise ReconfigurationError(
+                f"parallelism must be >= 1, got {new_parallelism}"
+            )
+        if self._round_active or self._rollback_pending:
+            return False
+        if new_parallelism == self._tier_parallelism():
+            return False
+        self._rescale_request = new_parallelism
+        started = self.reconfigure(on_complete)
+        if not started:
+            self._rescale_request = None
+        return started
 
     @property
     def round_active(self) -> bool:
         return self._round_active
+
+    @property
+    def rescale_in_progress(self) -> bool:
+        """A rescale round is live, or an aborted scale-out is still
+        rolling back its doomed instances."""
+        return self._rescale_ctx is not None or self._rollback_pending
+
+    @property
+    def tier_parallelism(self) -> int:
+        """Current instance count of the rescaled (routed) tier."""
+        return self._tier_parallelism()
+
+    def _tier_parallelism(self) -> int:
+        """Current instance count of the rescaled tier. All stateful
+        routed destinations rescale together (one-instance-per-server
+        placement couples their parallelism to the server count)."""
+        sizes = {
+            len(self.deployment.executors[s.dst_op])
+            for s in self._routed_streams
+        }
+        if len(sizes) != 1:
+            raise ReconfigurationError(
+                f"routed destination tiers have mixed parallelism "
+                f"{sorted(sizes)}; cannot rescale"
+            )
+        return sizes.pop()
+
+    def _rescale_ops(self) -> List[str]:
+        """All routed destination ops, topological order — every one
+        of them gains/loses instances in a rescale (one-instance-per-
+        server placement keeps their parallelism equal)."""
+        routed = {s.dst_op for s in self._routed_streams}
+        return [
+            name
+            for name in self.deployment.topology.topological_order()
+            if name in routed
+        ]
+
+    def _rescale_stateful_ops(self) -> List[str]:
+        """The subset of :meth:`_rescale_ops` that holds keyed state
+        (these participate in inventory and scan migration)."""
+        stateful = {
+            s.dst_op for s in self._routed_streams if s.stateful_dst
+        }
+        return [name for name in self._rescale_ops() if name in stateful]
 
     @property
     def completed_rounds(self) -> List[RoundRecord]:
@@ -350,7 +490,37 @@ class Manager:
         for edge_pair, estimates in stats.items():
             self._stats.setdefault(edge_pair, []).extend(estimates)
         self._collect_outstanding -= 1
-        if self._collect_outstanding == 0:
+        self._maybe_plan()
+
+    def _rpc_get_inventory(self, executor, round_id: int) -> None:
+        if not self._is_current(round_id):
+            return
+        agent = self._agents[(executor.op_name, executor.instance)]
+        keys = agent.on_state_inventory()
+        self.sim.schedule(
+            self.config.rpc_latency_s,
+            self._on_inventory,
+            executor.op_name,
+            executor.instance,
+            keys,
+            round_id,
+        )
+
+    def _on_inventory(
+        self, op_name: str, instance: int, keys: List, round_id: int
+    ) -> None:
+        if not self._is_current(round_id):
+            return
+        holders = self._inventory.setdefault(op_name, {})
+        for key in keys:
+            holders[key] = instance
+        self._inventory_outstanding -= 1
+        self._maybe_plan()
+
+    def _maybe_plan(self) -> None:
+        """Plan once both the metrics and (for rescale rounds) the
+        inventory legs have fully returned."""
+        if self._collect_outstanding == 0 and self._inventory_outstanding == 0:
             self._plan_and_send()
 
     def _plan_and_send(self) -> None:
@@ -361,6 +531,12 @@ class Manager:
         collect_span = self._round_spans.get("STATS_COLLECT")
         if collect_span is not None:
             collect_span.end(pairs=keygraph.num_edges)
+        if self._rescale_request is not None:
+            # A rescale never skips: even with an empty key graph the
+            # instance set must change (tables then come out empty and
+            # all routing is hash-fallback at the new width).
+            self._plan_and_send_rescale(record, keygraph)
+            return
         if keygraph.num_edges == 0:
             # Nothing observed yet: skip this round.
             record.skipped = True
@@ -427,10 +603,128 @@ class Manager:
             )
         return len(servers)
 
+    def _plan_and_send_rescale(self, record: RoundRecord, keygraph) -> None:
+        """Plan a rescale round: provision the new instance set, then
+        repartition the key graph for the new ``k`` and send payloads.
+
+        Provisioning happens *before* payloads go out so that the whole
+        round runs against the union view: spawned instances forward
+        PROPAGATEs (their successors count them as predecessors) and
+        retiring instances keep participating until commit.
+        """
+        new_k = self._rescale_request
+        self._rescale_request = None
+        old_k = self._tier_parallelism()
+        union_k = max(old_k, new_k)
+        ops = self._rescale_ops()
+        deployment = self.deployment
+
+        provision_span = self._tracer.begin(
+            "RESCALE_PROVISION",
+            parent=self._round_spans.get("round"),
+            old_parallelism=old_k,
+            new_parallelism=new_k,
+            ops=len(ops),
+        )
+        self._round_spans["RESCALE_PROVISION"] = provision_span
+        spawned: List = []
+        if new_k > old_k:
+            cluster = deployment.cluster
+            while cluster.num_servers < new_k:
+                cluster.add_server()
+            for op_name in ops:
+                for instance in range(old_k, new_k):
+                    # notify=False: the agent (control handler) must be
+                    # installed before spawn observers wrap the seams.
+                    spawned.append(
+                        deployment.spawn_instance(
+                            op_name, cluster.server(instance), notify=False
+                        )
+                    )
+        retiring: List = []
+        if new_k < old_k:
+            for op_name in ops:
+                retiring.extend(deployment.executors[op_name][new_k:])
+
+        self._repatch_agents()
+        for executor in spawned:
+            if executor.op_name in self._instrumented_ops:
+                executor.instrumentation = PairTracker(
+                    executor.op_name,
+                    capacity=self.config.sketch_capacity,
+                    sketch_factory=self.config.sketch_factory,
+                )
+                self._instrumented.append(executor)
+            deployment.notify_spawned(executor)
+        provision_span.end(spawned=len(spawned), retiring=len(retiring))
+
+        new_streams = [
+            RoutedStream(
+                name=s.name,
+                src_op=s.src_op,
+                dst_op=s.dst_op,
+                dst_placements=[
+                    e.server.index
+                    for e in deployment.executors[s.dst_op][:new_k]
+                ],
+                stateful_dst=s.stateful_dst,
+            )
+            for s in self._routed_streams
+        ]
+        partition_span = self._tracer.begin(
+            "PARTITION",
+            parent=self._round_spans.get("round"),
+            edges=keygraph.num_edges,
+            servers=new_k,
+        )
+        self._round_spans["PARTITION"] = partition_span
+        plan = plan_reconfiguration(
+            keygraph,
+            new_streams,
+            new_k,
+            self.current_tables,
+            imbalance=self.config.imbalance,
+            seed=self.config.seed + self._round_id,
+            max_edges=self.config.max_edges,
+        )
+        # The plan's table-diff migrations compare owners across two
+        # different fallback moduli — meaningless for a rescale. State
+        # movement is scan-based instead (see RescaleSpec).
+        plan.migrations = {}
+        record.plan = plan
+        cut_weight = (
+            1.0 - plan.predicted_locality
+        ) * keygraph.total_pair_weight
+        registry = deployment.metrics.registry
+        registry.gauge("reconf_last_cut_weight").set(cut_weight)
+        registry.gauge("reconf_last_predicted_locality").set(
+            plan.predicted_locality
+        )
+        partition_span.end(
+            predicted_locality=plan.predicted_locality,
+            cut_weight=cut_weight,
+            tables=len(plan.tables),
+        )
+
+        self._rescale_ctx = _RescaleContext(
+            ops=ops,
+            old_k=old_k,
+            new_k=new_k,
+            union_k=union_k,
+            spawned=spawned,
+            retiring=retiring,
+            new_streams=new_streams,
+        )
+        self.current_tables.update(plan.tables)
+        self._send_reconfigurations(plan)
+
     def _send_reconfigurations(self, plan: ReconfigurationPlan) -> None:
         record = self.rounds[-1]
         record.tables_sent_at = self.sim.now
-        payloads = self._build_payloads(plan)
+        if self._rescale_ctx is not None:
+            payloads = self._build_rescale_payloads(plan)
+        else:
+            payloads = self._build_payloads(plan)
         self._ack_outstanding = len(payloads)
         self._complete_outstanding = len(payloads)
         self._propagated_outstanding = len(payloads)
@@ -510,13 +804,144 @@ class Manager:
                 receiver.expected_migrations += 1
         return payloads
 
+    def _build_rescale_payloads(
+        self, plan: ReconfigurationPlan
+    ) -> Dict[Tuple[str, int], PoiReconfiguration]:
+        """Payloads for a rescale round (union view).
+
+        Sources of routed streams get an :class:`EdgeUpdate` — the new
+        destination list and table swapped atomically at PROPAGATE
+        application (``update_table`` alone cannot change fan-out).
+        Every instance of a stateful rescaled tier gets a
+        :class:`RescaleSpec`: at apply time it scans its own state and
+        ships each key whose owner changed. Because sketch-fed tables
+        are lossy and the hash-fallback modulus changes with ``k``, a
+        table diff cannot enumerate moving keys — each participant
+        instead sends exactly one MIGRATE (possibly empty) to every
+        other participant, making ``expected_migrations`` static.
+        Hold lists come from the inventory gathered before planning.
+        """
+        ctx = self._rescale_ctx
+        deployment = self.deployment
+        topology = deployment.topology
+        payloads: Dict[Tuple[str, int], PoiReconfiguration] = {}
+        for op in topology.operators.values():
+            for executor in deployment.instances(op.name):
+                payloads[(op.name, executor.instance)] = PoiReconfiguration(
+                    round_id=self._round_id
+                )
+
+        stateful_ops = set(self._rescale_stateful_ops())
+        participants = list(range(ctx.union_k))
+        for stream in ctx.new_streams:
+            table = plan.tables.get(stream.name)
+            destinations = deployment.executors[stream.dst_op][: ctx.new_k]
+            for executor in deployment.instances(stream.src_op):
+                payloads[(stream.src_op, executor.instance)].edge_updates[
+                    stream.name
+                ] = EdgeUpdate(list(destinations), table)
+
+            if stream.dst_op not in stateful_ops:
+                continue
+            owner_spec = RescaleSpec(
+                table=table,
+                hash_seed=stream.hash_seed,
+                num_instances=ctx.new_k,
+                participants=list(participants),
+            )
+            for executor in deployment.instances(stream.dst_op):
+                payload = payloads[(stream.dst_op, executor.instance)]
+                payload.rescale = RescaleSpec(
+                    table=table,
+                    hash_seed=stream.hash_seed,
+                    num_instances=ctx.new_k,
+                    participants=list(participants),
+                    retiring=executor.instance >= ctx.new_k,
+                )
+                payload.expected_migrations = len(participants) - 1
+            for key, holder in self._inventory.get(
+                stream.dst_op, {}
+            ).items():
+                owner = owner_spec.owner_of(key)
+                if owner != holder:
+                    payloads[(stream.dst_op, owner)].receive_keys.append(key)
+        return payloads
+
+    def _repatch_agents(self) -> None:
+        """Re-derive every agent's predecessor count, peer list and
+        successor list from the *live* deployment — the union view
+        while a rescale round runs, the final view after commit or
+        rollback. Existing agents keep their protocol state; executors
+        without an agent (just spawned) get one, which also installs
+        their control handler."""
+        deployment = self.deployment
+        topology = deployment.topology
+        for op in topology.operators.values():
+            live = deployment.instances(op.name)
+            predecessors = sum(
+                len(deployment.executors[stream.src])
+                for stream in topology.inputs_of(op.name)
+            )
+            successors: List = []
+            for stream in topology.outputs_of(op.name):
+                successors.extend(deployment.instances(stream.dst))
+            for executor in live:
+                needed = (
+                    1
+                    if isinstance(executor, SpoutExecutor)
+                    else max(1, predecessors)
+                )
+                agent = self._agents.get((op.name, executor.instance))
+                if agent is None:
+                    agent = ReconfigurationAgent(
+                        executor, self, needed, live, successors
+                    )
+                    self._agents[(op.name, executor.instance)] = agent
+                else:
+                    agent.predecessors_needed = needed
+                    agent.peers = live
+                    agent.successors = successors
+
     # ------------------------------------------------------------------
     # Round completion, deadline and abort
     # ------------------------------------------------------------------
 
     def _complete_round(self, record: RoundRecord) -> None:
+        if self._rescale_ctx is not None:
+            self._commit_rescale(record)
         record.completed_at = self.sim.now
         self._finish_round(record)
+
+    def _commit_rescale(self, record: RoundRecord) -> None:
+        """Every POI finished the rescale round: adopt the new instance
+        set. Retiring instances are empty by the barrier argument —
+        their final PROPAGATE was preceded (same FIFO channel) by all
+        old-routed data, and post-swap routing never targets an
+        instance ``>= new_k`` — so popping them destroys nothing."""
+        ctx, self._rescale_ctx = self._rescale_ctx, None
+        deployment = self.deployment
+        retired = 0
+        for op_name in ctx.ops:
+            while len(deployment.executors[op_name]) > ctx.new_k:
+                executor = deployment.retire_instance(op_name)
+                self._agents.pop((op_name, executor.instance), None)
+                if executor in self._instrumented:
+                    self._instrumented.remove(executor)
+                retired += 1
+        for op_name in ctx.ops:
+            deployment.topology.operator(op_name).parallelism = ctx.new_k
+            for executor in deployment.executors[op_name]:
+                executor.set_parallelism(ctx.new_k)
+        self._routed_streams = ctx.new_streams
+        self._streams_by_name = {s.name: s for s in self._routed_streams}
+        self._repatch_agents()
+        record.rescale_spawned = len(ctx.spawned)
+        record.rescale_retired = retired
+        registry = deployment.metrics.registry
+        for op_name in ctx.ops:
+            registry.gauge("elasticity_parallelism", op=op_name).set(
+                ctx.new_k
+            )
 
     def _finish_round(self, record: RoundRecord) -> None:
         self._end_round_trace(record)
@@ -545,13 +970,23 @@ class Manager:
             status, event = "skipped", "SKIP"
         else:
             status, event = "committed", "COMMIT"
-        for phase in ("STATS_COLLECT", "PARTITION", "PROPAGATE", "MIGRATE"):
+        for phase in (
+            "STATS_COLLECT",
+            "RESCALE_PROVISION",
+            "PARTITION",
+            "PROPAGATE",
+            "MIGRATE",
+        ):
             span = spans.get(phase)
             if span is not None:
                 span.end(status=status)
         attrs = {"status": status}
         if record.abort_reason:
             attrs["reason"] = record.abort_reason
+        if record.is_rescale:
+            attrs["rescale"] = (
+                f"{record.rescale_from}->{record.rescale_to}"
+            )
         round_span.event(event, **attrs)
         round_span.end(
             status=status, collected_pairs=record.collected_pairs
@@ -576,10 +1011,24 @@ class Manager:
         record.aborted_at = self.sim.now
         record.abort_reason = reason
         self.current_tables = dict(self._tables_before_round)
-        self._push_tables(self.current_tables)
+        ctx, self._rescale_ctx = self._rescale_ctx, None
+        self._rescale_request = None
+        if ctx is None:
+            self._push_tables(self.current_tables)
+        else:
+            self._push_rescale_rollback(ctx)
         for agent in self._agents.values():
             agent.on_abort(record.round_id)
         self.deployment.metrics.on_round_aborted()
+        if ctx is not None:
+            if ctx.spawned:
+                self._begin_rescale_rollback(ctx, record)
+            else:
+                # Aborted scale-in: the retiring instances simply stay.
+                # State already scan-migrated off them stays merged on
+                # its receiver (totals stay exact under merge install);
+                # routing is back on the pre-round tables either way.
+                self._repatch_agents()
         self._finish_round(record)
 
     def _push_tables(self, tables: Dict[str, RoutingTable]) -> None:
@@ -589,6 +1038,140 @@ class Manager:
             table = tables.get(stream.name)
             for executor in self.deployment.instances(stream.src_op):
                 executor.table_router(stream.name).update_table(table)
+
+    # ------------------------------------------------------------------
+    # Rescale abort: rollback of the provisioned instance set
+    # ------------------------------------------------------------------
+
+    def _push_rescale_rollback(self, ctx: _RescaleContext) -> None:
+        """Abort path of a rescale: force every source's out-edge back
+        to the pre-round width and table in one atomic step (sources
+        that already applied the new edge would otherwise keep routing
+        to doomed instances). Spawned sources are included — they may
+        still hold in-flight tuples to process during the drain and
+        must route like everyone else."""
+        deployment = self.deployment
+        for stream in self._routed_streams:  # pre-rescale view
+            table = self.current_tables.get(stream.name)
+            destinations = deployment.executors[stream.dst_op][: ctx.old_k]
+            for executor in deployment.instances(stream.src_op):
+                edge = executor.out_edge(stream.name)
+                edge.destinations = list(destinations)
+                executor.table_router(stream.name).resize(
+                    ctx.old_k, table
+                )
+
+    def _begin_rescale_rollback(
+        self, ctx: _RescaleContext, record: RoundRecord
+    ) -> None:
+        """An aborted scale-out leaves doomed instances that may still
+        hold queued tuples and already-migrated state. Data must never
+        be dropped, so removal waits until each doomed instance is
+        quiescent — idle with a stable received-count for two
+        consecutive polls — then its state is evacuated to the
+        pre-round owners. New rounds stay blocked until then."""
+        self._rollback_pending = True
+        watch = {executor: [-1, 0] for executor in ctx.spawned}
+        self.sim.schedule(
+            self.config.rescale_drain_poll_s,
+            self._poll_rescale_rollback,
+            ctx,
+            record,
+            watch,
+        )
+
+    def _poll_rescale_rollback(
+        self, ctx: _RescaleContext, record: RoundRecord, watch: Dict
+    ) -> None:
+        received = self.deployment.metrics.received
+        all_quiet = True
+        for executor, entry in watch.items():
+            count = received[(executor.op_name, executor.instance)]
+            if executor.idle and count == entry[0]:
+                entry[1] += 1
+            else:
+                entry[0] = count
+                entry[1] = 0
+            if entry[1] < 2:
+                all_quiet = False
+        if not all_quiet:
+            self.sim.schedule(
+                self.config.rescale_drain_poll_s,
+                self._poll_rescale_rollback,
+                ctx,
+                record,
+                watch,
+            )
+            return
+        self._finish_rescale_rollback(ctx, record)
+
+    def _finish_rescale_rollback(
+        self, ctx: _RescaleContext, record: RoundRecord
+    ) -> None:
+        deployment = self.deployment
+        streams_by_dst = {s.dst_op: s for s in self._routed_streams}
+        for op_name in ctx.ops:
+            stream = streams_by_dst.get(op_name)
+            while len(deployment.executors[op_name]) > ctx.old_k:
+                executor = deployment.executors[op_name][-1]
+                self._evacuate_state(executor, stream, ctx.old_k)
+                deployment.retire_instance(op_name)
+                self._agents.pop((op_name, executor.instance), None)
+                if executor in self._instrumented:
+                    self._instrumented.remove(executor)
+                self._redirect_installs(executor, stream)
+        self._repatch_agents()
+        registry = deployment.metrics.registry
+        for op_name in ctx.ops:
+            registry.gauge("elasticity_parallelism", op=op_name).set(
+                ctx.old_k
+            )
+        record.rescale_rolled_back = True
+        self._rollback_pending = False
+
+    def _owner_under_current(self, stream, key, n: int) -> int:
+        """Owner of ``key`` at width ``n`` under the live tables: valid
+        table entry, else engine-identical hash fallback."""
+        table = self.current_tables.get(stream.name)
+        if table is not None:
+            owner = table.lookup(key)
+            if owner is not None and 0 <= owner < n:
+                return owner
+        return stable_hash(key, stream.hash_seed) % n
+
+    def _evacuate_state(self, executor, stream, old_k: int) -> None:
+        """Move every state entry off a doomed instance onto its
+        pre-round owner (merge install keeps per-key totals exact)."""
+        operator = executor.operator
+        if not isinstance(operator, StatefulBolt) or not operator.state:
+            return
+        entries = executor.extract_state(list(operator.state))
+        groups: Dict[int, Dict] = {}
+        for key, value in entries.items():
+            owner = self._owner_under_current(stream, key, old_k)
+            groups.setdefault(owner, {})[key] = value
+        for owner, sub in groups.items():
+            self.deployment.executor(executor.op_name, owner).install_state(
+                sub
+            )
+
+    def _redirect_installs(self, executor, stream) -> None:
+        """A fault-delayed MIGRATE may still land on the removed
+        executor after rollback; forward its entries to a live owner so
+        no count is ever destroyed."""
+        if stream is None:
+            return
+        op_name = executor.op_name
+
+        def forward_install(entries: Dict) -> None:
+            for key, value in entries.items():
+                n = len(self.deployment.executors[op_name])
+                owner = self._owner_under_current(stream, key, n)
+                self.deployment.executor(op_name, owner).install_state(
+                    {key: value}
+                )
+
+        executor.install_state = forward_install
 
     # ------------------------------------------------------------------
     # Agent notifications

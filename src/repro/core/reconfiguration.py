@@ -40,6 +40,8 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.routing_table import RoutingTable
 from repro.engine.executor import BaseExecutor, ControlMessage, SpoutExecutor
+from repro.engine.grouping import stable_hash
+from repro.engine.operators import StatefulBolt
 from repro.errors import ReconfigurationError
 
 GET_METRICS = "GET_METRICS"
@@ -48,6 +50,54 @@ SEND_RECONF = "SEND_RECONF"
 ACK_RECONF = "ACK_RECONF"
 PROPAGATE = "PROPAGATE"
 MIGRATE = "MIGRATE"
+
+
+@dataclass
+class EdgeUpdate:
+    """Atomic (destinations, table) swap for one out-edge.
+
+    A rescale round changes a stream's fan-out width; the new table
+    addresses the new width, so destinations, table and the router's
+    destination count must swap in one step at PROPAGATE application —
+    a (new table, old width) hybrid would route out of range.
+    """
+
+    destinations: List[BaseExecutor]
+    table: Optional[RoutingTable]
+
+
+@dataclass
+class RescaleSpec:
+    """Scan-based migration directive for one instance of a rescaled
+    operator.
+
+    A rescale changes the hash-fallback modulus, so the manager cannot
+    enumerate the keys that move by diffing tables (sketch statistics
+    are lossy — state exists for keys no table mentions). Instead every
+    participant scans its own state at apply time, groups keys by their
+    new owner, and sends exactly one MIGRATE (possibly empty) to every
+    other participant; ``expected_migrations`` is then a static
+    ``len(participants) - 1`` regardless of where state actually sits.
+    """
+
+    #: the new routing table of the operator's table-routed input
+    table: Optional[RoutingTable]
+    #: hash seed of that input stream (engine-identical fallback)
+    hash_seed: int
+    #: destination instance count *after* the rescale
+    num_instances: int
+    #: all instances live during the round (union of old and new sets)
+    participants: List[int]
+    #: True when this instance is being removed by the rescale
+    retiring: bool = False
+
+    def owner_of(self, key: Hashable) -> int:
+        """Post-rescale owner of ``key``: table entry, else fallback."""
+        if self.table is not None:
+            owner = self.table.lookup(key)
+            if owner is not None:
+                return owner
+        return stable_hash(key, self.hash_seed) % self.num_instances
 
 
 @dataclass
@@ -64,6 +114,10 @@ class PoiReconfiguration:
     receive_keys: List[Hashable] = field(default_factory=list)
     #: how many MIGRATE messages to expect
     expected_migrations: int = 0
+    #: out-stream name → atomic destinations+table swap (rescale rounds)
+    edge_updates: Dict[str, EdgeUpdate] = field(default_factory=dict)
+    #: scan-based migration directive (rescale rounds only)
+    rescale: Optional[RescaleSpec] = None
 
 
 @dataclass
@@ -113,6 +167,16 @@ class ReconfigurationAgent:
         if tracker is None:
             return {}
         return tracker.collect_and_clear()
+
+    def on_state_inventory(self) -> List[Hashable]:
+        """Rescale pre-step: the keys currently materialized in this
+        POI's state (insertion order — deterministic). The manager uses
+        the inventory to compute hold lists for a rescale round, since
+        table diffs cannot enumerate fallback-owned state."""
+        operator = self.executor.operator
+        if isinstance(operator, StatefulBolt):
+            return list(operator.state)
+        return []
 
     def on_reconf(self, payload: PoiReconfiguration) -> None:
         """Step 3: store the pending reconfiguration and start
@@ -196,19 +260,18 @@ class ReconfigurationAgent:
         for stream_name, table in payload.router_updates.items():
             executor.table_router(stream_name).update_table(table)
 
+        for stream_name, update in payload.edge_updates.items():
+            edge = executor.out_edge(stream_name)
+            edge.destinations = list(update.destinations)
+            executor.table_router(stream_name).resize(
+                len(update.destinations), update.table
+            )
+
         for peer_instance, keys in payload.send.items():
-            entries = executor.extract_state(keys)
-            migrate = ControlMessage(
-                MIGRATE,
-                MigratePayload(payload.round_id, list(keys), entries),
-                sender=executor.name,
-            )
-            size = (
-                executor.costs.control_message_bytes
-                + executor.costs.state_bytes_per_key * len(keys)
-            )
-            executor.metrics.on_keys_migrated(len(keys))
-            executor.send_control(self.peers[peer_instance], migrate, size)
+            self._send_migrate(peer_instance, keys, payload.round_id)
+
+        if payload.rescale is not None:
+            self._rescale_migrate(payload.rescale, payload.round_id)
 
         forward = lambda dst: executor.send_control(  # noqa: E731
             dst,
@@ -225,6 +288,47 @@ class ReconfigurationAgent:
         self.manager.notify_propagated(self, payload.round_id)
         if self._migrations >= payload.expected_migrations:
             self._finish_round()
+
+    def _send_migrate(
+        self, peer_instance: int, keys: List[Hashable], round_id: int
+    ) -> None:
+        executor = self.executor
+        entries = executor.extract_state(keys)
+        migrate = ControlMessage(
+            MIGRATE,
+            MigratePayload(round_id, list(keys), entries),
+            sender=executor.name,
+        )
+        size = (
+            executor.costs.control_message_bytes
+            + executor.costs.state_bytes_per_key * len(keys)
+        )
+        if keys:
+            executor.metrics.on_keys_migrated(len(keys))
+        executor.send_control(self.peers[peer_instance], migrate, size)
+
+    def _rescale_migrate(self, spec: RescaleSpec, round_id: int) -> None:
+        """Scan local state, ship each key to its post-rescale owner.
+
+        One MIGRATE goes to *every* other participant even when no keys
+        move there — the receiver's ``expected_migrations`` counts
+        participants, not planned transfers, so the round's completion
+        condition is independent of where state happens to sit.
+        """
+        executor = self.executor
+        groups: Dict[int, List[Hashable]] = {
+            peer: []
+            for peer in spec.participants
+            if peer != executor.instance
+        }
+        operator = executor.operator
+        if isinstance(operator, StatefulBolt):
+            for key in list(operator.state):
+                owner = spec.owner_of(key)
+                if owner != executor.instance:
+                    groups[owner].append(key)
+        for peer_instance, keys in groups.items():
+            self._send_migrate(peer_instance, keys, round_id)
 
     def _on_migrate(self, payload: MigratePayload, sender: str) -> None:
         token = (payload.round_id, sender)

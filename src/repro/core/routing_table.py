@@ -46,6 +46,15 @@ class RoutingTable:
     def as_dict(self) -> Dict[Hashable, int]:
         return dict(self._mapping)
 
+    def max_instance(self) -> Optional[int]:
+        """Highest instance index any entry routes to, or None for an
+        empty table. A table is valid for width ``n`` iff
+        ``max_instance() is None or max_instance() < n`` — rescale
+        invariant checks audit exactly this."""
+        if not self._mapping:
+            return None
+        return max(self._mapping.values())
+
     # ------------------------------------------------------------------
     # Diffing (used to build migration lists)
     # ------------------------------------------------------------------

@@ -63,6 +63,7 @@ class Cluster:
         if num_racks < 1:
             raise ValueError(f"num_racks must be >= 1, got {num_racks}")
         self.sim = sim
+        self._num_racks = num_racks
         bandwidth = None if bandwidth_gbps is None else bandwidth_gbps * GIGABIT
         self.network = Network(
             sim,
@@ -72,14 +73,29 @@ class Cluster:
         )
         self.servers: List[Server] = []
         for index in range(num_servers):
-            rack = index % num_racks
-            server = Server(index, rack, nic=None)  # type: ignore[arg-type]
-            server.nic = self.network.attach(server)
-            self.servers.append(server)
+            self.add_server()
 
     @property
     def num_servers(self) -> int:
         return len(self.servers)
+
+    def add_server(self, rack: Optional[int] = None) -> Server:
+        """Provision one more server at runtime (elastic scale-out).
+
+        The new server gets the next index, joins ``rack`` (default:
+        the round-robin rack the constructor would have used), and a
+        freshly attached NIC — transfers to and from it work
+        immediately.
+        """
+        index = len(self.servers)
+        server = Server(
+            index,
+            index % self._num_racks if rack is None else rack,
+            nic=None,  # type: ignore[arg-type]
+        )
+        server.nic = self.network.attach(server)
+        self.servers.append(server)
+        return server
 
     def server(self, index: int) -> Server:
         return self.servers[index]

@@ -141,14 +141,26 @@ class BaseExecutor:
     def _context(self) -> OperatorContext:
         """The reusable per-executor context for the processing loops.
 
-        Identity fields never change after deployment and ``_drain``
-        empties the emission buffer after every operator call, so one
-        context object serves every invocation.
+        Identity fields only change through :meth:`set_parallelism`
+        (which drops the cached context) and ``_drain`` empties the
+        emission buffer after every operator call, so one context
+        object serves every invocation.
         """
         context = self._op_context
         if context is None:
             context = self._op_context = self.make_context()
         return context
+
+    def set_parallelism(self, parallelism: int) -> None:
+        """Adopt a new operator parallelism (elastic rescale commit).
+        Drops the cached operator context so ``num_instances`` reported
+        to the operator stays truthful."""
+        if parallelism < 1:
+            raise SimulationError(
+                f"parallelism must be >= 1, got {parallelism}"
+            )
+        self.parallelism = parallelism
+        self._op_context = None
 
     def add_out_edge(self, edge: OutEdge) -> None:
         """Wire one output edge (deployment time), indexing it by name."""
@@ -400,6 +412,21 @@ class BoltExecutor(BaseExecutor):
     @property
     def held_keys(self) -> set:
         return set(self._held_keys)
+
+    # -- load / drain introspection ---------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Items waiting in the input queue (data + control). The
+        elasticity controller's primary load signal."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when the executor has nothing queued and no service
+        event in flight — the rescale-rollback drain watcher polls this
+        before evacuating a doomed instance."""
+        return not self._busy and not self._queue
 
     # -- processing loop --------------------------------------------------
 

@@ -353,6 +353,24 @@ class TableRouter(Router):
         if self._cache is not None:
             self._cache.clear()
 
+    @property
+    def num_destinations(self) -> int:
+        return self._n
+
+    def resize(self, num_destinations: int, table) -> None:
+        """Atomically swap the destination count *and* the table (a
+        rescale round changes both; swapping them separately would let
+        a tuple route through a (new table, old n) hybrid and hit the
+        range check in :meth:`_route`)."""
+        if num_destinations < 1:
+            raise RoutingError(
+                f"num_destinations must be >= 1, got {num_destinations}"
+            )
+        self._n = num_destinations
+        self._table = table
+        if self._cache is not None:
+            self._cache.clear()
+
     def _route(self, key) -> tuple:
         """Uncached decision: (route list, came-from-table flag)."""
         if self._table is not None:

@@ -53,6 +53,12 @@ class Deployment:
         self.executors = executors
         self.metrics = metrics
         self.acker = acker
+        #: observers called with every executor created by
+        #: :meth:`spawn_instance` / removed by :meth:`retire_instance` —
+        #: the seams the invariant suite and fault injector use to track
+        #: an instance set that changes at runtime
+        self.spawn_observers: List[Callable[[BaseExecutor], None]] = []
+        self.retire_observers: List[Callable[[BaseExecutor], None]] = []
 
     def executor(self, op_name: str, instance: int) -> BaseExecutor:
         return self.executors[op_name][instance]
@@ -85,6 +91,99 @@ class Deployment:
     def placement_of(self, op_name: str) -> List[int]:
         """Server index of each instance of ``op_name``."""
         return [e.server.index for e in self.executors[op_name]]
+
+    # ------------------------------------------------------------------
+    # Elastic rescaling (online instance add/remove)
+    # ------------------------------------------------------------------
+
+    def spawn_instance(
+        self, op_name: str, server, *, notify: bool = True
+    ) -> BoltExecutor:
+        """Create, wire and open one new instance of bolt ``op_name``
+        on ``server``, with the next instance index.
+
+        Wiring replicates :func:`deploy`: one router per output stream
+        (built against the *current* destination lists — a rescale
+        round swaps them atomically via the protocol's edge updates)
+        and the input key extractors. ``notify=False`` defers the spawn
+        observers so the caller can finish installing control handlers
+        first (see :meth:`notify_spawned`).
+        """
+        from repro.engine.executor import OutEdge
+
+        op = self.topology.operator(op_name)
+        if op.is_spout:
+            raise DeploymentError(
+                f"cannot spawn a spout instance of {op_name!r}: spout "
+                f"sharding is fixed at deployment"
+            )
+        group = self.executors[op_name]
+        template = group[0]
+        instance = len(group)
+        costs = template.costs
+        operator = op.factory()
+        executor = BoltExecutor(
+            sim=self.sim,
+            cluster=self.cluster,
+            op_name=op_name,
+            instance=instance,
+            parallelism=template.parallelism,
+            server=server,
+            operator=operator,
+            costs=costs,
+            metrics=self.metrics,
+            acker=self.acker,
+        )
+        group.append(executor)
+        for stream in self.topology.outputs_of(op_name):
+            destinations = self.executors[stream.dst]
+            context = RouterContext(
+                stream_name=stream.name,
+                src_instance=instance,
+                src_server=server.index,
+                dst_placements=[e.server.index for e in destinations],
+                seed=stable_hash(stream.name),
+                cache_size=costs.router_cache_size,
+            )
+            router = stream.grouping.build_router(context)
+            executor.add_out_edge(
+                OutEdge(
+                    stream.name,
+                    router,
+                    list(destinations),
+                    getattr(stream.grouping, "key_fn", None),
+                )
+            )
+        for stream in self.topology.inputs_of(op_name):
+            key_fn = getattr(stream.grouping, "key_fn", None)
+            if key_fn is not None:
+                executor.in_key_fns[stream.src] = key_fn
+        operator.open(executor.make_context())
+        if notify:
+            self.notify_spawned(executor)
+        return executor
+
+    def notify_spawned(self, executor: BaseExecutor) -> None:
+        """Fire the spawn observers for ``executor`` (separately
+        callable so a manager can attach the reconfiguration agent
+        before observers wrap the control handler)."""
+        for observer in self.spawn_observers:
+            observer(executor)
+
+    def retire_instance(self, op_name: str) -> BaseExecutor:
+        """Remove and close the highest-index instance of ``op_name``.
+        Retire observers run *before* close so they can audit the
+        instance's final state (e.g. assert it drained cleanly)."""
+        group = self.executors[op_name]
+        if len(group) <= 1:
+            raise DeploymentError(
+                f"cannot retire the last instance of {op_name!r}"
+            )
+        executor = group.pop()
+        for observer in self.retire_observers:
+            observer(executor)
+        executor.close()
+        return executor
 
 
 def deploy(

@@ -92,6 +92,28 @@ def partition(
     return parts
 
 
+def balance_of(graph: Graph, parts: List[int], nparts: int) -> float:
+    """Achieved balance ratio of an assignment: the heaviest part's
+    weight over the ideal ``total / nparts``. 1.0 is perfect balance;
+    rescale checks compare this against the α bound (plus the
+    one-heaviest-vertex granularity slack :func:`partition` allows).
+    Zero-weight graphs balance trivially (returns 0.0)."""
+    if nparts < 1:
+        raise PartitioningError(f"nparts must be >= 1, got {nparts}")
+    weights = [0.0] * nparts
+    for vertex, part in enumerate(parts):
+        if not 0 <= part < nparts:
+            raise PartitioningError(
+                f"vertex {vertex} assigned to part {part}; "
+                f"expected 0..{nparts - 1}"
+            )
+        weights[part] += graph.vertex_weight(vertex)
+    total = sum(weights)
+    if total <= 0:
+        return 0.0
+    return max(weights) / (total / nparts)
+
+
 def _recurse(
     graph: Graph,
     global_ids: List[int],

@@ -66,6 +66,10 @@ class EpisodeConfig:
     #: dict = fault-free episode
     fault_plan: Dict = field(default_factory=dict)
     allow_crashes: bool = False
+    #: scripted elastic rescales, ``[at_s, new_parallelism]`` pairs;
+    #: each retries until the manager is free (or the run ends), so a
+    #: rescale landing mid-round is exercised, not silently dropped
+    rescales: List[List] = field(default_factory=list)
     #: deliberate bug to arm (harness self-test); see INJECTIONS
     inject: Optional[str] = None
 
@@ -98,12 +102,17 @@ class EpisodeResult:
         return not self.violations
 
 
-def generate_config(tree: RngTree, seed: int) -> EpisodeConfig:
+def generate_config(
+    tree: RngTree, seed: int, rescale: bool = False
+) -> EpisodeConfig:
     """Draw one episode's parameters from the RNG tree.
 
     ``seed`` is the episode seed (also stored in the config); all
     shape decisions come from the tree so the mapping seed → episode
     is stable across harness versions of the same tree layout.
+    ``rescale`` additionally draws scripted mid-stream rescales from a
+    *separate* RNG stream, so seed → base episode stays identical with
+    and without the flag.
     """
     rng = tree.rng("episode", seed)
     parallelism = rng.choice((2, 2, 3, 4))
@@ -131,6 +140,15 @@ def generate_config(tree: RngTree, seed: int) -> EpisodeConfig:
             horizon_s=until_s,
         )
         config.fault_plan = fault_plan_to_dict(plan)
+    if rescale:
+        rescale_rng = tree.rng("rescale", seed)
+        count = rescale_rng.choice((1, 1, 2))
+        actions = []
+        for _ in range(count):
+            at_s = rescale_rng.uniform(0.05, until_s * 0.8)
+            target = rescale_rng.choice((1, 2, 3, 4, 5))
+            actions.append([round(at_s, 6), target])
+        config.rescales = sorted(actions)
     return config
 
 
@@ -178,6 +196,10 @@ def run_episode(config: EpisodeConfig) -> EpisodeResult:
 
     deployment.start()
     manager.start()
+    for at_s, target in config.rescales:
+        sim.schedule(
+            at_s, _attempt_rescale, sim, manager, int(target), config.until_s
+        )
     sim.run(until=config.until_s)
     manager.stop()
     sim.run()  # drain: spouts are finite, rounds deadline out
@@ -197,6 +219,29 @@ def run_episode(config: EpisodeConfig) -> EpisodeResult:
         telemetry_records=len(sink.records),
         sink=sink,
     )
+
+
+def _attempt_rescale(sim, manager, target, deadline_s) -> None:
+    """Start a scripted rescale, retrying while the manager is busy.
+
+    Mirrors what an operator (or the elasticity controller) does: a
+    rescale that lands mid-round is re-attempted shortly after instead
+    of being dropped, so fuzzing exercises the busy/again path too.
+    Retries stop once the tier is already at ``target`` or the episode
+    deadline has passed, so the drain phase still terminates.
+    """
+    if manager.tier_parallelism == target:
+        return
+    if sim.now >= deadline_s:
+        return
+    try:
+        started = manager.rescale(target)
+    except Exception:
+        return  # e.g. target < 1 is never drawn, but stay safe
+    if not started:
+        sim.schedule(
+            0.005, _attempt_rescale, sim, manager, target, deadline_s
+        )
 
 
 def _arm_injection(name: str, deployment) -> None:

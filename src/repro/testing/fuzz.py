@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a deliberate bug in every episode (harness self-test)",
     )
     parser.add_argument(
+        "--rescale", action="store_true",
+        help="script 1-2 elastic rescales into every episode",
+    )
+    parser.add_argument(
         "--replay", metavar="BUNDLE", default=None,
         help="replay one bundle and verify it reproduces identically",
     )
@@ -79,7 +83,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     rounds = completed = aborted = faults = 0
     for index in range(args.seeds):
         seed = args.master_seed + index
-        config = generate_config(tree, seed)
+        config = generate_config(tree, seed, rescale=args.rescale)
         if args.inject is not None:
             config.inject = args.inject
         result = run_episode(config)

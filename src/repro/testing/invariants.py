@@ -143,7 +143,47 @@ class InvariantSuite:
             if not isinstance(executor, BoltExecutor):
                 continue
             self._wrap_executor(executor)
+        # Elastic rescaling: instances spawned mid-run get the same
+        # wrapping (the manager installs their agent *before* firing
+        # spawn observers); retiring instances are audited for leaks.
+        self.deployment.spawn_observers.append(self._on_spawn)
+        self.deployment.retire_observers.append(self._on_retire)
         return self
+
+    def _on_spawn(self, executor) -> None:
+        if isinstance(executor, BoltExecutor):
+            self._wrap_executor(executor)
+
+    def _on_retire(self, executor) -> None:
+        """A POI may only leave the deployment empty-handed: no held
+        keys (their buffered tuples would be destroyed), no queued
+        tuples, and no state (it must have been migrated or evacuated
+        first)."""
+        if not isinstance(executor, BoltExecutor):
+            return
+        now = self.deployment.sim.now
+        if executor.held_keys:
+            self._fail_at(
+                "retired_poi_leak",
+                f"{executor.name} retired while still holding "
+                f"{sorted(map(repr, executor.held_keys))[:5]}",
+                now,
+            )
+        if executor.queue_depth:
+            self._fail_at(
+                "retired_poi_leak",
+                f"{executor.name} retired with {executor.queue_depth} "
+                f"queued tuples (undelivered data destroyed)",
+                now,
+            )
+        operator = executor.operator
+        if isinstance(operator, StatefulBolt) and operator.state:
+            self._fail_at(
+                "retired_poi_leak",
+                f"{executor.name} retired with {len(operator.state)} "
+                f"state entries still on board",
+                now,
+            )
 
     def _wrap_executor(self, executor) -> None:
         suite = self
@@ -185,6 +225,19 @@ class InvariantSuite:
             return None
         return self._msg_ctx[1]
 
+    def _is_rescale_round(self, round_id: Optional[int]) -> bool:
+        """Rescale rounds migrate by *scanning* state, so a key whose
+        state was split across instances by an earlier abort is
+        legitimately extracted (and installed, merging) once per
+        holder — the per-key exactly-once rule only binds plain
+        rounds. Conservation still verifies totals at quiescence."""
+        if round_id is None:
+            return False
+        for record in reversed(self.manager.rounds):
+            if record.round_id == round_id:
+                return bool(getattr(record, "is_rescale", False))
+        return False
+
     def _record_extract(self, executor, entries: Dict) -> None:
         round_id = self._context_round()
         self._ledger += _state_weight(entries)
@@ -194,7 +247,7 @@ class InvariantSuite:
             token = (round_id, executor.op_name, key)
             count = self._extracts.get(token, 0) + 1
             self._extracts[token] = count
-            if count > 1:
+            if count > 1 and not self._is_rescale_round(round_id):
                 self._fail(
                     "duplicate_extract",
                     f"{executor.name}: key {key!r} extracted {count} times "
@@ -211,7 +264,7 @@ class InvariantSuite:
             token = (round_id, executor.op_name, key)
             count = self._installs.get(token, 0) + 1
             self._installs[token] = count
-            if count > 1:
+            if count > 1 and not self._is_rescale_round(round_id):
                 self._fail(
                     "duplicate_install",
                     f"{executor.name}: key {key!r} installed {count} times "
@@ -227,6 +280,9 @@ class InvariantSuite:
         self._rounds_seen += 1
         self._check_held_keys(record)
         self._check_routing_agreement(record)
+        self._check_table_range(record)
+        if getattr(record, "is_rescale", False) and not record.aborted:
+            self._check_rescale_parallelism(record)
         if (
             self.check_balance
             and record.plan is not None
@@ -235,6 +291,41 @@ class InvariantSuite:
             and not record.vetoed
         ):
             self._check_balance(record)
+
+    def _check_table_range(self, record) -> None:
+        """Every current routing-table entry must address a live
+        instance — a stale-width table after a rescale (or a rollback)
+        would route tuples out of range."""
+        for stream in self.manager.routed_streams:
+            table = self.manager.current_tables.get(stream.name)
+            if table is None:
+                continue
+            width = len(self.deployment.executors[stream.dst_op])
+            top = table.max_instance()
+            if top is not None and top >= width:
+                self._fail(
+                    "table_range",
+                    f"stream {stream.name!r}: table routes to instance "
+                    f"{top} but {stream.dst_op} has only {width} "
+                    f"instances after round {record.round_id}",
+                    record.round_id,
+                )
+
+    def _check_rescale_parallelism(self, record) -> None:
+        """A committed rescale must leave every routed destination tier
+        at exactly the requested parallelism."""
+        for op_name in sorted(
+            {s.dst_op for s in self.manager.routed_streams}
+        ):
+            width = len(self.deployment.executors[op_name])
+            if width != record.rescale_to:
+                self._fail(
+                    "rescale_parallelism",
+                    f"{op_name}: {width} instances after committed "
+                    f"rescale round {record.round_id} requested "
+                    f"{record.rescale_from}->{record.rescale_to}",
+                    record.round_id,
+                )
 
     def _check_held_keys(self, record) -> None:
         for executor in self.deployment.all_executors():

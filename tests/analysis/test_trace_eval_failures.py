@@ -1,0 +1,127 @@
+"""Failure and fallback paths of the trace-driven evaluator.
+
+``test_trace_eval.py`` covers the happy paths; here we pin the
+behaviour at the seams: partial table sets (one hop routed, one
+hashed), table misses falling back to hashing, worst-case load
+concentration, sketch budgets far below the distinct-pair count, and
+degenerate ``weekly_series`` invocations.
+"""
+
+import pytest
+
+from repro.analysis.trace_eval import TwoHopEvaluator, weekly_series
+from repro.core.routing_table import RoutingTable
+from repro.errors import WorkloadError
+
+
+def test_zero_servers_rejected():
+    with pytest.raises(WorkloadError):
+        TwoHopEvaluator(0)
+    with pytest.raises(WorkloadError):
+        TwoHopEvaluator(-3)
+
+
+def test_partial_tables_fall_back_to_hashing_and_count_unseen():
+    """A table for the first hop only: the second hop hashes, and
+    every pair counts as unseen (its second key missed the tables)."""
+    evaluator = TwoHopEvaluator(2)
+    pairs = [("a", "x"), ("b", "y")] * 5
+    tables = {evaluator.first_hop.name: RoutingTable({"a": 0, "b": 1})}
+    result = evaluator.evaluate(pairs, tables)
+    assert result.pairs == 10
+    assert result.unseen_fraction == 1.0
+    # First hop honoured the table exactly.
+    assert result.loads_first == [5, 5]
+    # Second hop still routed every tuple somewhere valid.
+    assert sum(result.loads_second) == 10
+
+
+def test_table_miss_on_some_keys_is_partial_unseen():
+    evaluator = TwoHopEvaluator(2)
+    pairs = [("a", "x"), ("c", "x"), ("a", "x"), ("a", "x")]
+    tables = {
+        evaluator.first_hop.name: RoutingTable({"a": 0}),  # "c" missing
+        evaluator.second_hop.name: RoutingTable({"x": 0}),
+    }
+    result = evaluator.evaluate(pairs, tables)
+    assert result.unseen_fraction == pytest.approx(1 / 4)
+
+
+def test_hash_only_run_reports_no_unseen():
+    """Without tables there is nothing to miss: unseen stays 0 even
+    though every key is 'unknown'."""
+    evaluator = TwoHopEvaluator(3)
+    result = evaluator.evaluate([("a", "x"), ("b", "y")], tables=None)
+    assert result.unseen_fraction == 0.0
+
+
+def test_total_concentration_hits_worst_load_balance():
+    """Every pair on one key: load balance degrades to num_servers
+    exactly (max load == total, mean == total / n)."""
+    evaluator = TwoHopEvaluator(4)
+    tables = {
+        evaluator.first_hop.name: RoutingTable({"k": 2}),
+        evaluator.second_hop.name: RoutingTable({"v": 2}),
+    }
+    result = evaluator.evaluate([("k", "v")] * 20, tables)
+    assert result.load_balance == pytest.approx(4.0)
+    assert result.locality == 1.0
+    assert result.loads_first == [0, 0, 20, 0]
+
+
+def test_plan_tables_with_tiny_sketch_still_yields_valid_tables():
+    """A SpaceSaving budget far below the distinct-pair count must
+    degrade accuracy, not correctness: tables stay within range and
+    the evaluator accepts them."""
+    evaluator = TwoHopEvaluator(2)
+    pairs = [(f"k{i}", f"v{i}") for i in range(50)] * 3
+    tables, predicted = evaluator.plan_tables(pairs, sketch_capacity=4)
+    for table in tables.values():
+        if not table.empty():
+            assert 0 <= table.max_instance() < 2
+    assert 0.0 <= predicted <= 1.0
+    result = evaluator.evaluate(pairs, tables)
+    assert result.pairs == 150
+    assert 0.0 <= result.locality <= 1.0
+
+
+def test_plan_tables_max_edges_one_keeps_only_heaviest_pair():
+    evaluator = TwoHopEvaluator(2)
+    pairs = [("hot", "hot2")] * 30 + [("a", "x"), ("b", "y")]
+    tables, _ = evaluator.plan_tables(pairs, max_edges=1)
+    table1 = tables[evaluator.first_hop.name]
+    table2 = tables[evaluator.second_hop.name]
+    assert table1.lookup("hot") is not None
+    assert table2.lookup("hot2") is not None
+    # The truncated keys are absent and will hash at run time.
+    assert table1.lookup("a") is None
+    assert table2.lookup("y") is None
+    assert table1.lookup("hot") == table2.lookup("hot2")
+
+
+def test_weekly_series_zero_weeks_is_empty():
+    assert weekly_series(lambda w: [], 0, 2, "online") == []
+
+
+def test_weekly_series_empty_weeks_do_not_crash_planning():
+    """Weeks with no traffic: evaluation is trivially perfect and the
+    online replan from an empty window produces empty tables rather
+    than failing."""
+    results = weekly_series(lambda w: [], 3, 2, "online")
+    assert len(results) == 3
+    assert all(r.pairs == 0 for r in results)
+    assert all(r.locality == 1.0 for r in results)
+
+
+def test_weekly_series_offline_plans_only_from_week_zero():
+    """Offline mode must keep week-0 tables even when later weeks
+    shift: week 0 is unrouted, later weeks route with stale tables."""
+    def week_pairs(week):
+        if week == 0:
+            return [("a", "x")] * 10 + [("b", "y")] * 10
+        return [("c", "z")] * 10  # keys the stale tables never saw
+
+    results = weekly_series(week_pairs, 3, 2, "offline")
+    assert results[0].unseen_fraction == 0.0  # no tables yet
+    assert results[1].unseen_fraction == 1.0
+    assert results[2].unseen_fraction == 1.0

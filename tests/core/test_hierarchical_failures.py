@@ -1,0 +1,114 @@
+"""Failure and degenerate paths of rack-aware hierarchical assignment.
+
+The happy paths live in ``test_extensions.py``; these tests pin down
+what happens at the edges: rack lists that are empty in different
+ways, more racks than keys (empty level-2 subproblems), quality
+accounting for keys the assignment does not cover, and the cost model
+extremes.
+"""
+
+import pytest
+
+from repro.core.assignment import KeyAssignment
+from repro.core.hierarchical import (
+    HierarchicalQuality,
+    assignment_quality,
+    compute_hierarchical_assignment,
+)
+from repro.core.keygraph import KeyGraph
+from repro.errors import PartitioningError
+
+
+def _graph(groups=4, weight=10):
+    graph = KeyGraph()
+    for i in range(groups):
+        graph.add_pair("S->A", f"k{i}", "A->B", f"v{i}", weight + i)
+    return graph
+
+
+class TestValidationEdges:
+    def test_single_empty_rack_is_rejected(self):
+        # [[]] has no servers at all — rejected before the per-rack
+        # emptiness check fires.
+        with pytest.raises(PartitioningError):
+            compute_hierarchical_assignment(_graph(), [[]])
+
+    def test_empty_rack_among_nonempty_is_rejected(self):
+        with pytest.raises(PartitioningError):
+            compute_hierarchical_assignment(_graph(), [[0, 1], [], [2]])
+
+    def test_duplicate_server_within_one_rack_is_rejected(self):
+        with pytest.raises(PartitioningError):
+            compute_hierarchical_assignment(_graph(), [[0, 0], [1]])
+
+    def test_imbalance_below_one_propagates(self):
+        with pytest.raises(PartitioningError):
+            compute_hierarchical_assignment(
+                _graph(), [[0], [1]], imbalance=0.9
+            )
+
+
+class TestDegenerateShapes:
+    def test_more_racks_than_keys_leaves_no_key_unassigned(self):
+        """With more racks than key-graph vertices some racks get no
+        members; those level-2 subproblems are skipped, but every key
+        still lands on a valid server."""
+        graph = _graph(groups=1)  # 2 vertices only
+        racks = [[0], [1], [2], [3]]
+        assignment = compute_hierarchical_assignment(graph, racks)
+        _, vertices = graph.to_partition_graph()
+        assert set(assignment.parts) == set(vertices)
+        assert set(assignment.parts.values()) <= {0, 1, 2, 3}
+        assert assignment.num_parts == 4
+
+    def test_empty_keygraph_yields_empty_assignment(self):
+        assignment = compute_hierarchical_assignment(
+            KeyGraph(), [[0, 1], [2]]
+        )
+        assert assignment.parts == {}
+        assert assignment.num_parts == 3
+
+    def test_nonconsecutive_server_ids_are_respected(self):
+        """Rack lists name servers, not indices — ids with gaps must
+        come through verbatim."""
+        graph = _graph(groups=6)
+        racks = [[10, 11], [20, 21]]
+        assignment = compute_hierarchical_assignment(graph, racks)
+        assert set(assignment.parts.values()) <= {10, 11, 20, 21}
+
+
+class TestQualityAccounting:
+    def test_keys_missing_from_assignment_count_as_cross_rack(self):
+        """Quality must be pessimistic about unassigned keys: a pair
+        with an uncovered endpoint cannot be assumed local."""
+        graph = _graph(groups=3)
+        racks = [[0], [1]]
+        assignment = compute_hierarchical_assignment(graph, racks)
+        victim = next(iter(assignment.parts))
+        parts = dict(assignment.parts)
+        del parts[victim]
+        crippled = KeyAssignment(parts=parts, num_parts=2)
+        quality = assignment_quality(graph, crippled, racks)
+        assert quality.cross_rack > 0.0
+        full = assignment_quality(graph, assignment, racks)
+        assert quality.same_server < 1.0 or full.same_server < 1.0
+        assert quality.cross_rack >= full.cross_rack
+
+    def test_fractions_sum_to_one(self):
+        graph = _graph(groups=8)
+        racks = [[0, 1], [2, 3]]
+        assignment = compute_hierarchical_assignment(graph, racks)
+        quality = assignment_quality(graph, assignment, racks)
+        assert quality.same_server + quality.same_rack + (
+            quality.cross_rack
+        ) == pytest.approx(1.0)
+
+    def test_weighted_cost_extremes(self):
+        all_local = HierarchicalQuality(1.0, 0.0, 0.0)
+        assert all_local.weighted_cost() == 0.0
+        all_core = HierarchicalQuality(0.0, 0.0, 1.0)
+        assert all_core.weighted_cost(core_cost=7.0) == 7.0
+        mixed = HierarchicalQuality(0.5, 0.3, 0.2)
+        assert mixed.weighted_cost(
+            rack_cost=2.0, core_cost=10.0
+        ) == pytest.approx(0.3 * 2.0 + 0.2 * 10.0)

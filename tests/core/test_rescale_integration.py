@@ -1,0 +1,291 @@
+"""End-to-end elastic rescaling: online add/remove of POI instances.
+
+The acceptance scenario of the elasticity work: a scripted episode
+doubles the hot operator's parallelism mid-stream and must finish with
+zero invariant violations and exactly the same end-state word counts
+as a fixed-parallelism run; with the controller constructed but never
+started, the simulator fingerprint must be identical to a run without
+any elasticity code at all.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    ElasticityConfig,
+    ElasticityController,
+    Manager,
+    ManagerConfig,
+)
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.operators import IteratorSpout
+from repro.errors import ReconfigurationError
+from repro.testing.invariants import InvariantSuite
+
+SPOUTS = 2
+PER_SPOUT = 15000
+KEYS = 40
+
+
+def _source(ctx):
+    """Deterministic per-spout-instance key sequence (skewed so the
+    partitioner has real work and queues actually build up)."""
+    rng = random.Random(1000 + ctx.instance_index)
+    for _ in range(PER_SPOUT):
+        a = min(rng.randrange(KEYS), rng.randrange(KEYS))
+        yield (a, a + 100)
+
+
+def _ground_truth():
+    truth_a, truth_b = Counter(), Counter()
+    for i in range(SPOUTS):
+        rng = random.Random(1000 + i)
+        for _ in range(PER_SPOUT):
+            a = min(rng.randrange(KEYS), rng.randrange(KEYS))
+            truth_a[a] += 1
+            truth_b[a + 100] += 1
+    return truth_a, truth_b
+
+
+def _build(bolts):
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(_source), parallelism=SPOUTS)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=bolts,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=bolts,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+def _deployed(bolts, **config_kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, bolts)
+    deployment = deploy(sim, cluster, _build(bolts))
+    manager = Manager(deployment, ManagerConfig(**config_kwargs))
+    return sim, deployment, manager
+
+
+def _state_totals(deployment, op):
+    totals = Counter()
+    for executor in deployment.instances(op):
+        for key, count in executor.operator.state.items():
+            totals[key] += count
+    return totals
+
+
+def _rescale_with_retry(sim, manager, target, done):
+    """Keep asking until the manager is free to start the rescale."""
+
+    def attempt():
+        if manager.rescale(target, on_complete=done.append):
+            return
+        if manager.tier_parallelism == target:
+            return
+        sim.schedule(0.005, attempt)
+
+    attempt()
+
+
+class TestScaleOut:
+    def _run_scale_out(self, period_s=0.05):
+        sim, deployment, manager = _deployed(2, period_s=period_s)
+        suite = InvariantSuite(deployment, manager).attach()
+        done = []
+        if period_s is not None:
+            manager.start()
+        deployment.start()
+        sim.schedule(0.08, _rescale_with_retry, sim, manager, 4, done)
+        sim.run(until=0.4)
+        manager.stop()
+        sim.run()  # drain
+        return sim, deployment, manager, suite, done
+
+    def test_doubling_parallelism_mid_stream_is_exact(self):
+        sim, deployment, manager, suite, done = self._run_scale_out()
+
+        assert len(done) == 1
+        record = done[0]
+        assert record.is_rescale
+        assert record.rescale_from == 2 and record.rescale_to == 4
+        assert not record.aborted
+        assert record.rescale_spawned == 4  # 2 ops x 2 new instances
+        assert record.rescale_retired == 0
+
+        # The new instance set is fully adopted.
+        assert deployment.cluster.num_servers == 4
+        for op in ("A", "B"):
+            assert len(deployment.executors[op]) == 4
+            for executor in deployment.instances(op):
+                assert executor.parallelism == 4
+        assert manager.tier_parallelism == 4
+
+        # Zero invariant violations, including the rescale-aware ones.
+        truth_a, truth_b = _ground_truth()
+        suite.final_check({"A": truth_a, "B": truth_b})
+        assert suite.violations == []
+
+        # No tuple lost, no count misplaced.
+        assert deployment.metrics.processed_total("B") == SPOUTS * PER_SPOUT
+        assert _state_totals(deployment, "A") == truth_a
+        assert _state_totals(deployment, "B") == truth_b
+
+    def test_end_state_matches_fixed_parallelism_run(self):
+        sim, deployment, manager, suite, done = self._run_scale_out()
+
+        fixed_sim, fixed_deployment, fixed_manager = _deployed(
+            2, period_s=0.05
+        )
+        fixed_manager.start()
+        fixed_deployment.start()
+        fixed_sim.run(until=0.4)
+        fixed_manager.stop()
+        fixed_sim.run()
+
+        for op in ("A", "B"):
+            assert _state_totals(deployment, op) == _state_totals(
+                fixed_deployment, op
+            )
+
+    def test_new_instances_absorb_traffic(self):
+        sim, deployment, manager, suite, done = self._run_scale_out()
+        received = deployment.metrics.received
+        newcomers = sum(
+            received[("A", i)] + received[("B", i)] for i in (2, 3)
+        )
+        assert newcomers > 0, "spawned instances never saw a tuple"
+
+
+class TestScaleIn:
+    def test_scale_in_retires_and_conserves(self):
+        sim, deployment, manager = _deployed(3, period_s=0.05)
+        suite = InvariantSuite(deployment, manager).attach()
+        done = []
+        manager.start()
+        deployment.start()
+        sim.schedule(0.08, _rescale_with_retry, sim, manager, 2, done)
+        sim.run(until=0.4)
+        manager.stop()
+        sim.run()
+
+        assert len(done) == 1
+        record = done[0]
+        assert record.is_rescale and not record.aborted
+        assert record.rescale_from == 3 and record.rescale_to == 2
+        assert record.rescale_retired == 2  # one per bolt op
+        for op in ("A", "B"):
+            assert len(deployment.executors[op]) == 2
+            for executor in deployment.instances(op):
+                assert executor.parallelism == 2
+
+        truth_a, truth_b = _ground_truth()
+        suite.final_check({"A": truth_a, "B": truth_b})
+        assert suite.violations == []
+        assert deployment.metrics.processed_total("B") == SPOUTS * PER_SPOUT
+
+
+class TestControllerDeterminism:
+    def _fingerprint(self, with_controller):
+        sim, deployment, manager = _deployed(2, period_s=0.05)
+        sim.enable_fingerprint()
+        if with_controller:
+            ElasticityController(manager)  # constructed, never started
+        manager.start()
+        deployment.start()
+        sim.run(until=0.3)
+        manager.stop()
+        sim.run()
+        return sim.fingerprint
+
+    def test_disabled_controller_leaves_fingerprint_unchanged(self):
+        assert self._fingerprint(False) == self._fingerprint(True)
+
+
+class TestControllerDecisions:
+    def test_controller_scales_out_under_load(self):
+        sim, deployment, manager = _deployed(2, period_s=0.05)
+        controller = ElasticityController(
+            manager,
+            ElasticityConfig(
+                check_period_s=0.02,
+                scale_out_queue_depth=4.0,
+                scale_in_queue_depth=-1.0,  # never scale back in
+                max_parallelism=4,
+                cooldown_s=0.05,
+            ),
+        )
+        manager.start()
+        controller.start()
+        deployment.start()
+        sim.run(until=0.4)
+        controller.stop()
+        manager.stop()
+        sim.run()
+
+        triggered = [d for d in controller.decisions if d.started]
+        assert triggered, "controller never triggered a rescale"
+        assert triggered[0].to_parallelism == 3
+        assert manager.tier_parallelism > 2
+        rescales = [r for r in manager.rounds if r.is_rescale]
+        assert any(not r.aborted and r.completed_at for r in rescales)
+        assert (
+            deployment.metrics.processed_total("B") == SPOUTS * PER_SPOUT
+        )
+
+    def test_controller_scales_in_when_idle(self):
+        sim, deployment, manager = _deployed(3, period_s=None)
+        controller = ElasticityController(
+            manager,
+            ElasticityConfig(
+                check_period_s=0.02,
+                scale_out_queue_depth=1e9,
+                scale_in_queue_depth=5.0,
+                scale_in_consecutive=2,
+                min_parallelism=2,
+                cooldown_s=0.01,
+            ),
+        )
+        controller.start()
+        deployment.start()
+        sim.run(until=0.5)
+        controller.stop()
+        sim.run()
+
+        assert manager.tier_parallelism == 2
+        assert (
+            deployment.metrics.processed_total("B") == SPOUTS * PER_SPOUT
+        )
+
+
+class TestRescaleValidation:
+    def test_rescale_rejects_bad_parallelism(self):
+        sim, deployment, manager = _deployed(2, period_s=None)
+        with pytest.raises(ReconfigurationError):
+            manager.rescale(0)
+
+    def test_rescale_noop_and_busy_are_refused(self):
+        sim, deployment, manager = _deployed(2, period_s=None)
+        deployment.start()
+        sim.run(until=0.05)
+        assert manager.rescale(2) is False  # already at 2
+        assert manager.rescale(3) is True
+        assert manager.rescale(4) is False  # round in flight
+        assert manager.reconfigure() is False
+        sim.run(until=0.3)
+        assert manager.tier_parallelism == 3

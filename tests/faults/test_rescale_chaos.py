@@ -1,0 +1,242 @@
+"""Chaos matrix for elastic rescaling.
+
+Rescale rounds add instances to (or retire instances from) a live
+deployment, so their failure modes go beyond the plain protocol's:
+
+- a **newly spawned POI crashing mid-migration** must not wedge the
+  system — the round times out, aborts, and the doomed instances are
+  drained, evacuated and removed (rollback to the old instance set);
+- a **PROPAGATE dropped towards a retiring POI** during scale-in must
+  abort the round and leave the old instance set fully intact, with
+  per-key totals exact (nothing was crashed, so conservation holds);
+- any **round-timeout abort mid-rescale** must roll routing back to
+  the pre-round tables and width atomically.
+"""
+
+import random
+from collections import Counter
+
+from repro.core import Manager, ManagerConfig
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.operators import IteratorSpout
+from repro.faults import ControlFault, FaultInjector, FaultPlan
+from repro.testing.invariants import InvariantSuite
+
+SPOUTS = 3
+PER_SPOUT = 8000
+TIMEOUT_S = 0.03
+
+
+def _source(ctx):
+    rng = random.Random(ctx.instance_index)
+    for _ in range(PER_SPOUT):
+        a = rng.randrange(12)
+        yield (a, a + 100)
+
+
+def _ground_truth():
+    truth_a, truth_b = Counter(), Counter()
+    for i in range(SPOUTS):
+        rng = random.Random(i)
+        for _ in range(PER_SPOUT):
+            a = rng.randrange(12)
+            truth_a[a] += 1
+            truth_b[a + 100] += 1
+    return truth_a, truth_b
+
+
+def _build(bolts):
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(_source), parallelism=SPOUTS)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=bolts,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=bolts,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+def _deployed(bolts, **deploy_kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, bolts)
+    deployment = deploy(sim, cluster, _build(bolts), **deploy_kwargs)
+    manager = Manager(
+        deployment, ManagerConfig(period_s=None, round_timeout_s=TIMEOUT_S)
+    )
+    return sim, deployment, manager
+
+
+def _rescale_with_retry(sim, manager, target, done):
+    def attempt():
+        if manager.rescale(target, on_complete=done.append):
+            return
+        if manager.tier_parallelism == target:
+            return
+        sim.schedule(0.005, attempt)
+
+    attempt()
+
+
+def _state_totals(deployment, op):
+    totals = Counter()
+    for executor in deployment.instances(op):
+        for key, count in executor.operator.state.items():
+            totals[key] += count
+    return totals
+
+
+def test_crash_of_new_poi_mid_rescale_rolls_back():
+    """Crash a just-spawned instance while the rescale round is live:
+    the wedged round must abort at its deadline and the scale-out must
+    roll back to the old instance set without dropping any queued
+    tuple silently (acker replay covers the crash loss)."""
+    sim, deployment, manager = _deployed(2, message_timeout_s=0.08)
+    # Crashes destroy state by design: disarm conservation, keep the
+    # structural checks (held keys, routing agreement, retiree leaks).
+    suite = InvariantSuite(
+        deployment, manager, check_conservation=False
+    ).attach()
+    done = []
+    crashed = []
+
+    def crash_newcomer():
+        if not crashed and manager.rescale_in_progress:
+            newcomers = deployment.executors["A"][2:]
+            if newcomers:
+                newcomers[0].crash(down_s=1.0)
+                crashed.append(newcomers[0])
+                return
+        if sim.now < 0.3:
+            sim.schedule(0.0005, crash_newcomer)
+
+    deployment.start()
+    sim.schedule(0.08, _rescale_with_retry, sim, manager, 4, done)
+    sim.schedule(0.08, crash_newcomer)
+    sim.run(until=0.5)
+    sim.run()  # drain: deadline abort, rollback, acker replays
+
+    assert crashed, "never caught the rescale in flight"
+    assert len(done) == 1
+    record = done[0]
+    assert record.is_rescale and record.aborted
+    assert record.rescale_rolled_back is True
+    # Old instance set restored, doomed instances gone.
+    for op in ("A", "B"):
+        assert len(deployment.executors[op]) == 2
+    assert manager.tier_parallelism == 2
+    assert manager.rescale_in_progress is False
+    # Control plane at rest; a later rescale still succeeds.
+    assert manager.round_active is False
+    for op in ("A", "B"):
+        for executor in deployment.instances(op):
+            assert executor.held_keys == set()
+    structural = [
+        v for v in suite.violations if v.invariant != "conservation"
+    ]
+    assert structural == []
+
+    retry = []
+    _rescale_with_retry(sim, manager, 3, retry)
+    sim.run()
+    assert len(retry) == 1 and not retry[0].aborted
+    assert manager.tier_parallelism == 3
+
+
+def test_dropped_propagate_to_retiring_poi_aborts_scale_in():
+    """Scale-in 3 -> 2 with every PROPAGATE towards the retiring A[2]
+    dropped: the round wedges, the deadline aborts it, and the old
+    instance set stays fully intact with exact per-key totals (no
+    crash was involved, so conservation must hold)."""
+    sim, deployment, manager = _deployed(3)
+    suite = InvariantSuite(deployment, manager).attach()
+    # A[2]'s predecessors are the three spouts: drop all three.
+    plan = FaultPlan(
+        control=[
+            ControlFault(
+                "drop",
+                kind="PROPAGATE",
+                dst_op="A",
+                dst_instance=2,
+                max_matches=3,
+            )
+        ]
+    )
+    injector = FaultInjector(plan).attach(deployment, manager)
+    done = []
+    deployment.start()
+    sim.schedule(0.08, _rescale_with_retry, sim, manager, 2, done)
+    sim.run(until=0.5)
+    sim.run()
+
+    assert injector.injected > 0
+    assert len(done) == 1
+    record = done[0]
+    assert record.is_rescale and record.aborted
+    assert record.rescale_from == 3 and record.rescale_to == 2
+    # Scale-in abort: the retiring instances simply stay.
+    assert record.rescale_rolled_back is False
+    for op in ("A", "B"):
+        assert len(deployment.executors[op]) == 3
+    assert manager.tier_parallelism == 3
+    assert manager.rescale_in_progress is False
+
+    # Nothing was lost or misplaced.
+    truth_a, truth_b = _ground_truth()
+    assert deployment.metrics.processed_total("B") == SPOUTS * PER_SPOUT
+    assert _state_totals(deployment, "A") == truth_a
+    assert _state_totals(deployment, "B") == truth_b
+    suite.final_check({"A": truth_a, "B": truth_b})
+    assert suite.violations == []
+
+
+def test_timeout_abort_mid_scale_out_preserves_every_count():
+    """Wedge a scale-out round by delaying MIGRATEs past the deadline
+    (no crash): the round aborts, the doomed instances drain and their
+    state is evacuated back to the pre-round owners; the late MIGRATEs
+    then land on already-removed instances and must still be forwarded
+    to a live owner. The end state is identical to ground truth."""
+    sim, deployment, manager = _deployed(2)
+    suite = InvariantSuite(deployment, manager).attach()
+    plan = FaultPlan(
+        control=[
+            ControlFault(
+                "delay", kind="MIGRATE", delay_s=0.05, max_matches=2
+            )
+        ]
+    )
+    injector = FaultInjector(plan).attach(deployment, manager)
+    done = []
+    deployment.start()
+    sim.schedule(0.08, _rescale_with_retry, sim, manager, 4, done)
+    sim.run(until=0.5)
+    sim.run()
+
+    assert injector.injected > 0
+    assert len(done) == 1
+    record = done[0]
+    assert record.is_rescale and record.aborted
+    assert record.rescale_rolled_back is True
+    for op in ("A", "B"):
+        assert len(deployment.executors[op]) == 2
+    assert manager.tier_parallelism == 2
+
+    truth_a, truth_b = _ground_truth()
+    assert deployment.metrics.processed_total("B") == SPOUTS * PER_SPOUT
+    assert _state_totals(deployment, "A") == truth_a
+    assert _state_totals(deployment, "B") == truth_b
+    suite.final_check({"A": truth_a, "B": truth_b})
+    assert suite.violations == []

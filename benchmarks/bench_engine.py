@@ -6,9 +6,11 @@ Measures how fast the *engine itself* runs on this machine:
   (``S -> A -> B``, table-routed, 4 kB padding, 1 Gb/s) on the quick
   grid, with and without the reconfiguration manager — reported as
   simulated events/sec and processed tuples/sec of wall clock;
-- **microbenches**: router ``select`` for the hash, table and
-  partial-key routers, SpaceSaving ``offer``, and executor emission
-  planning;
+- **microbenches**: router ``select`` for the hash, table,
+  partial-key and hybrid routers, SpaceSaving ``offer``, and executor
+  emission planning;
+- **skew axis**: wall-clock throughput and load imbalance of the
+  Zipf-plus-flash-crowd workload under pure-table vs hybrid routing;
 - **telemetry overhead**: instrumented-vs-bare process CPU time on
   the null sink (the DESIGN.md §8 <3 % budget, gated strictly by
   ``bench_observability.py``; recorded here for the trajectory).
@@ -47,6 +49,7 @@ from repro.core.routing_table import RoutingTable
 from repro.engine import Cluster, Simulator, deploy
 from repro.engine.grouping import (
     FieldsGrouping,
+    HybridTableFieldsGrouping,
     PartialKeyGrouping,
     RouterContext,
     TableFieldsGrouping,
@@ -54,7 +57,12 @@ from repro.engine.grouping import (
 )
 from repro.engine.tuples import Padding
 from repro.spacesaving import SpaceSaving
-from repro.workloads import FlickrConfig, FlickrWorkload
+from repro.workloads import (
+    FlickrConfig,
+    FlickrWorkload,
+    SkewConfig,
+    SkewWorkload,
+)
 
 
 def _quick() -> bool:
@@ -150,6 +158,14 @@ def bench_routers(n: int) -> Dict[str, float]:
     table = RoutingTable(
         {f"tag{i}": i % PARALLELISM for i in range(0, NUM_KEYS, 2)}
     )
+    # Same mapping with the two heaviest keys split (the stream is
+    # 1/(i+1)-weighted, so tag0/tag1 dominate): the hybrid bench pays
+    # the split-set lookup on every call and the least-loaded scan on
+    # the hot path, the realistic worst case for HybridTableRouter.
+    hybrid_table = RoutingTable(
+        {f"tag{i}": i % PARALLELISM for i in range(0, NUM_KEYS, 2)},
+        {"tag0": (0, 1), "tag1": (1, 2)},
+    )
     return {
         "micro_router_hash_select_per_s": _time_select(
             FieldsGrouping(0).build_router(context), values
@@ -159,6 +175,12 @@ def bench_routers(n: int) -> Dict[str, float]:
         ),
         "micro_router_partial_key_select_per_s": _time_select(
             PartialKeyGrouping(0).build_router(context), values
+        ),
+        "micro_router_hybrid_select_per_s": _time_select(
+            HybridTableFieldsGrouping(0, table=hybrid_table).build_router(
+                context
+            ),
+            values,
         ),
     }
 
@@ -212,6 +234,54 @@ def bench_emission_planning(n: int) -> float:
     for v in values:
         plan([v], root_id=1)
     return n / (time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Skew axis: Zipf tail + flash hot key, pure-table vs hybrid routing
+# ----------------------------------------------------------------------
+
+
+def _skew_pipeline(policy: str, duration_s: float) -> Dict[str, float]:
+    config = SkewConfig()
+    workload = SkewWorkload(config)
+    sim = Simulator()
+    cluster = Cluster(
+        sim, config.parallelism, bandwidth_gbps=BANDWIDTH_GBPS
+    )
+    deployment = deploy(sim, cluster, workload.topology(policy))
+    deployment.start()
+    start = time.perf_counter()
+    sim.run(until=duration_s)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "tuples": float(sum(deployment.metrics.processed.values())),
+        "imbalance": deployment.metrics.load_balance(
+            "A", config.parallelism
+        )
+        - 1.0,
+    }
+
+
+def bench_skew() -> Dict[str, float]:
+    """Wall-clock throughput and load imbalance (max/mean - 1) of the
+    skew workload under pure-table vs hybrid routing. The imbalance
+    numbers are simulated-deterministic; the rates join the gated
+    ``*_per_s`` axis in BENCH_engine.json."""
+    duration = 0.5 if _quick() else 1.0
+    _skew_pipeline("hybrid", 0.15)  # warmup (see bench_pipeline)
+    metrics: Dict[str, float] = {}
+    for policy in ("table", "hybrid"):
+        best: Optional[Dict[str, float]] = None
+        for _ in range(2):
+            sample = _skew_pipeline(policy, duration)
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        metrics[f"skew_{policy}_tuples_per_s"] = (
+            best["tuples"] / best["wall_s"]
+        )
+        metrics[f"skew_{policy}_imbalance_frac"] = best["imbalance"]
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -298,6 +368,7 @@ def run_suite(include_overhead: bool = True) -> Dict[str, float]:
         "micro_emission_plan_per_s": bench_emission_planning(n),
     }
     metrics.update(bench_routers(n))
+    metrics.update(bench_skew())
     if include_overhead:
         metrics["telemetry_overhead_frac"] = bench_telemetry_overhead()
         metrics["elasticity_overhead_frac"] = bench_elasticity_overhead()

@@ -26,11 +26,14 @@ from repro.engine.runner import run
 from repro.workloads import (
     FlickrConfig,
     FlickrWorkload,
+    SkewConfig,
+    SkewWorkload,
     SyntheticConfig,
     SyntheticWorkload,
     TwitterConfig,
     TwitterWorkload,
 )
+from repro.workloads.skew import SKEW_POLICIES
 from repro.workloads.synthetic import POLICIES
 
 #: Short simulated measurement window: transients settle within a few
@@ -146,6 +149,75 @@ def fig9(
             for padding in paddings:
                 rows.append(
                     _synthetic_run(parallelism, locality, padding, policy)
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Skew experiment (beyond the paper): locality vs load balance vs
+# throughput under Zipf skew with a flash hot key
+# ----------------------------------------------------------------------
+
+
+def _skew_run(
+    parallelism: int,
+    exponent: float,
+    flash_share: float,
+    policy: str,
+    split_width: int = 2,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    seed: int = 0,
+) -> Dict:
+    workload = SkewWorkload(
+        SkewConfig(
+            parallelism=parallelism,
+            exponent=exponent,
+            flash_share=flash_share,
+            split_width=split_width,
+            seed=seed,
+        )
+    )
+    result = run(
+        workload.topology(policy),
+        RunConfig(
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            num_servers=parallelism,
+        ),
+    )
+    return {
+        "policy": policy,
+        "parallelism": parallelism,
+        "exponent": exponent,
+        "flash_share": flash_share,
+        "throughput": result.throughput,
+        "locality": result.locality,
+        "load_balance": result.load_balance["A"],
+    }
+
+
+def skew(
+    exponents: Optional[Sequence[float]] = None,
+    flash_shares: Optional[Sequence[float]] = None,
+    parallelism: int = 4,
+    policies: Sequence[str] = SKEW_POLICIES,
+    quick: bool = False,
+) -> List[Dict]:
+    """Locality, load balance (max/mean) and throughput for the three
+    routing policies under increasing Zipf skew and a flash-crowd hot
+    key. The acceptance row is exponent 1.5 with a flash share: hybrid
+    must beat pure tables on load balance and pure hash on locality."""
+    if exponents is None:
+        exponents = (1.0, 1.5) if quick else (0.8, 1.0, 1.2, 1.5)
+    if flash_shares is None:
+        flash_shares = (0.3,) if quick else (0.0, 0.15, 0.3)
+    rows = []
+    for flash_share in flash_shares:
+        for exponent in exponents:
+            for policy in policies:
+                rows.append(
+                    _skew_run(parallelism, exponent, flash_share, policy)
                 )
     return rows
 
@@ -441,6 +513,7 @@ FIGURES = {
     "fig12": fig12,
     "fig13": fig13,
     "fig14": fig14,
+    "skew": skew,
 }
 
 

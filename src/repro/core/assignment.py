@@ -169,6 +169,35 @@ class ReconfigurationPlan:
         )
 
 
+def plan_migrations(
+    old_table: RoutingTable,
+    new_table: RoutingTable,
+    stream: RoutedStream,
+) -> Dict[Tuple[int, int], List[Hashable]]:
+    """Per-(old, new)-instance-pair key lists moving between tables.
+
+    Combines single-owner moves (:meth:`RoutingTable.moved_keys`) with
+    split consolidations: a key split in ``old_table`` but not in
+    ``new_table`` must gather its partial state from *every* old member
+    onto the new owner, so it expands to one migration per old member.
+    Keys split in ``new_table`` never migrate — their partial state
+    stays put and new traffic spreads over the members.
+    """
+    per_pair: Dict[Tuple[int, int], List[Hashable]] = {}
+    moved = old_table.moved_keys(new_table, stream.fallback_instance)
+    for key, (old_instance, new_instance) in moved.items():
+        per_pair.setdefault((old_instance, new_instance), []).append(key)
+    consolidations = old_table.split_consolidations(
+        new_table, stream.fallback_instance
+    )
+    for key, (members, new_owner) in consolidations.items():
+        for member in members:
+            if member == new_owner:
+                continue
+            per_pair.setdefault((member, new_owner), []).append(key)
+    return per_pair
+
+
 def plan_reconfiguration(
     keygraph: KeyGraph,
     streams: Sequence[RoutedStream],
@@ -199,12 +228,12 @@ def plan_reconfiguration(
         if not stream.stateful_dst:
             continue
         old_table = old_tables.get(stream.name, RoutingTable.empty())
-        moved = old_table.moved_keys(new_table, stream.fallback_instance)
-        if not moved:
+        per_pair = plan_migrations(old_table, new_table, stream)
+        if not per_pair:
             continue
-        per_pair = migrations.setdefault(stream.dst_op, {})
-        for key, (old_instance, new_instance) in moved.items():
-            per_pair.setdefault((old_instance, new_instance), []).append(key)
+        existing = migrations.setdefault(stream.dst_op, {})
+        for pair, keys in per_pair.items():
+            existing.setdefault(pair, []).extend(keys)
 
     return ReconfigurationPlan(
         tables=tables,

@@ -101,6 +101,15 @@ class KeyGraph:
     def vertex_weight(self, stream: str, key: Hashable) -> float:
         return self._vertex_weights.get((stream, key), 0.0)
 
+    def stream_weights(self, stream: str) -> Dict[Hashable, float]:
+        """key → total frequency for one stream namespace (the per-key
+        traffic view hybrid planning ranks heavy hitters by)."""
+        return {
+            key: weight
+            for (name, key), weight in self._vertex_weights.items()
+            if name == stream
+        }
+
     def pair_weight(
         self,
         in_stream: str,

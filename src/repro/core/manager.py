@@ -24,6 +24,7 @@ from repro.core.assignment import (
     DEFAULT_IMBALANCE,
     ReconfigurationPlan,
     RoutedStream,
+    plan_migrations,
     plan_reconfiguration,
 )
 from repro.core.instrumentation import PairTracker
@@ -38,12 +39,41 @@ from repro.core.reconfiguration import (
 )
 from repro.core.routing_table import RoutingTable
 from repro.engine.executor import ControlMessage, SpoutExecutor
-from repro.engine.grouping import TableFieldsGrouping, stable_hash
+from repro.engine.grouping import (
+    TableFieldsGrouping,
+    TableRouter,
+    stable_hash,
+)
 from repro.engine.operators import StatefulBolt
 from repro.errors import ReconfigurationError
 from repro.observability.sink import NULL_SINK
 from repro.observability.trace import Tracer
 from repro.spacesaving import SpaceSaving
+
+
+@dataclass
+class HybridConfig:
+    """Tunables of hybrid (skew-resilient) routing.
+
+    When a :class:`ManagerConfig` carries one of these, every planning
+    round re-derives each routed stream's *split set* from the merged
+    sketches: keys whose observed frequency exceeds
+    ``hot_fraction × total / n`` (a key's fair share scaled by
+    ``hot_fraction``) are split over ``split_width`` instances anchored
+    at their table owner. The split set ships inside the routing-table
+    payload, so it obeys every rule tables already obey (atomic
+    PROPAGATE swap, rescale resize, cache invalidation). Requires the
+    sources to use ``HybridTableFieldsGrouping`` — a plain TableRouter
+    silently ignores the split set and keeps pinning the hot key.
+    """
+
+    #: a key is hot when its weight exceeds this multiple of the
+    #: per-instance fair share (total weight / n)
+    hot_fraction: float = 0.5
+    #: instances each hot key is spread over (clamped to n)
+    split_width: int = 2
+    #: cap on split keys per stream (heaviest first)
+    max_split_keys: int = 8
 
 
 @dataclass
@@ -76,6 +106,9 @@ class ManagerConfig:
     #: aborted scale-out, doomed instances are evacuated only once
     #: their queues stay quiet for two consecutive polls.
     rescale_drain_poll_s: float = 2.0e-3
+    #: Hybrid (hot-key splitting) routing; None keeps the paper's pure
+    #: table routing and leaves planning byte-identical to it.
+    hybrid: Optional[HybridConfig] = None
 
 
 @dataclass
@@ -109,6 +142,12 @@ class RoundRecord:
     #: aborted scale-out fully rolled back (doomed instances drained,
     #: state evacuated, instance set restored)
     rescale_rolled_back: bool = False
+    #: dst op → {key: member count} for keys split when the round
+    #: started (invariant checkers allow that many extract/install
+    #: events per key during a consolidation)
+    presplit_keys: Dict[str, Dict] = field(default_factory=dict, repr=False)
+    #: dst op → {key: members} chosen by hybrid planning this round
+    split_sets: Dict[str, Dict] = field(default_factory=dict, repr=False)
 
     @property
     def is_rescale(self) -> bool:
@@ -335,6 +374,13 @@ class Manager:
         }
         self._stats = {}
         self._tables_before_round = dict(self.current_tables)
+        for stream in self._routed_streams:
+            table = self._tables_before_round.get(stream.name)
+            if table is not None and table.num_split_keys:
+                record.presplit_keys[stream.dst_op] = {
+                    key: len(members)
+                    for key, members in table.splits.items()
+                }
         self._collect_outstanding = len(self._instrumented)
         self._inventory = {}
         self._inventory_outstanding = 0
@@ -561,6 +607,8 @@ class Manager:
             max_edges=self.config.max_edges,
         )
         record.plan = plan
+        if self.config.hybrid is not None:
+            self._apply_hybrid_splits(record, keygraph, plan)
         cut_weight = (
             1.0 - plan.predicted_locality
         ) * keygraph.total_pair_weight
@@ -602,6 +650,75 @@ class Manager:
                 f"expected contiguous 0..{len(servers) - 1}"
             )
         return len(servers)
+
+    def _apply_hybrid_splits(
+        self, record: RoundRecord, keygraph, plan: ReconfigurationPlan
+    ) -> None:
+        """Hybrid mode: re-derive each routed stream's split set from
+        the merged sketches and rebuild the migration lists.
+
+        The split set is recomputed from scratch every round, so a key
+        that cooled below the threshold consolidates (its partials
+        gather on the table owner via :func:`plan_migrations`) and a
+        newly hot key starts splitting without migrating anything.
+        Migration lists must be rebuilt — :func:`plan_reconfiguration`
+        diffed against the *unsplit* new tables, so it would plan a
+        spurious consolidation for every key that stays split.
+        """
+        cfg = self.config.hybrid
+        migrations: Dict[str, Dict[Tuple[int, int], List]] = {}
+        for stream in self._routed_streams:
+            table = plan.tables.get(stream.name)
+            if table is None:
+                continue
+            splits = self._select_splits(keygraph, stream, table, cfg)
+            new_table = table.with_splits(splits)
+            plan.tables[stream.name] = new_table
+            if splits:
+                record.split_sets[stream.dst_op] = dict(splits)
+            if not stream.stateful_dst:
+                continue
+            old_table = self.current_tables.get(
+                stream.name, RoutingTable.empty()
+            )
+            per_pair = plan_migrations(old_table, new_table, stream)
+            if per_pair:
+                # At most one table-routed input per operator
+                # (validated at install), so no merge needed here.
+                migrations[stream.dst_op] = per_pair
+        plan.migrations = migrations
+
+    def _select_splits(
+        self, keygraph, stream: RoutedStream, table: RoutingTable, cfg
+    ) -> Dict:
+        """Deterministic split set for one stream: keys whose observed
+        weight exceeds ``hot_fraction`` of the per-instance fair share,
+        heaviest first (repr ties), split over ``split_width``
+        consecutive instances anchored at the table owner."""
+        n = len(stream.dst_placements)
+        if n < 2:
+            return {}
+        weights = keygraph.stream_weights(stream.name)
+        total = sum(weights.values())
+        if total <= 0.0:
+            return {}
+        threshold = cfg.hot_fraction * total / n
+        hot = sorted(
+            (key for key, weight in weights.items() if weight > threshold),
+            key=lambda key: (-weights[key], repr(key)),
+        )[: cfg.max_split_keys]
+        width = min(cfg.split_width, n)
+        if width < 2:
+            return {}
+        splits: Dict = {}
+        for key in hot:
+            owner = table.lookup(key)
+            if owner is None or not 0 <= owner < n:
+                owner = stream.fallback_instance(key)
+            splits[key] = tuple(
+                sorted((owner + j) % n for j in range(width))
+            )
+        return splits
 
     def _plan_and_send_rescale(self, record: RoundRecord, keygraph) -> None:
         """Plan a rescale round: provision the new instance set, then
@@ -865,6 +982,21 @@ class Manager:
                 owner = owner_spec.owner_of(key)
                 if owner != holder:
                     payloads[(stream.dst_op, owner)].receive_keys.append(key)
+
+        # Non-table-routed streams into a rescaled op (shuffle, plain
+        # hash, PKG side inputs) change fan-out too: without an edge
+        # update their sources keep the old destination list — stale
+        # references to retired executors — and the old router modulus.
+        routed_names = {s.name for s in ctx.new_streams}
+        for op_name in ctx.ops:
+            destinations = deployment.executors[op_name][: ctx.new_k]
+            for stream in topology.inputs_of(op_name):
+                if stream.name in routed_names:
+                    continue
+                for executor in deployment.instances(stream.src):
+                    payloads[(stream.src, executor.instance)].edge_updates[
+                        stream.name
+                    ] = EdgeUpdate(list(destinations), None)
         return payloads
 
     def _repatch_agents(self) -> None:
@@ -1060,6 +1192,23 @@ class Manager:
                 executor.table_router(stream.name).resize(
                     ctx.old_k, table
                 )
+        # Non-routed streams into rescaled ops roll back the same way
+        # (a source that already applied the new edge would keep
+        # routing to doomed instances).
+        routed_names = {s.name for s in self._routed_streams}
+        for op_name in ctx.ops:
+            destinations = deployment.executors[op_name][: ctx.old_k]
+            for stream in deployment.topology.inputs_of(op_name):
+                if stream.name in routed_names:
+                    continue
+                for executor in deployment.instances(stream.src):
+                    edge = executor.out_edge(stream.name)
+                    edge.destinations = list(destinations)
+                    router = edge.router
+                    if hasattr(router, "resize") and not isinstance(
+                        router, TableRouter
+                    ):
+                        router.resize(ctx.old_k)
 
     def _begin_rescale_rollback(
         self, ctx: _RescaleContext, record: RoundRecord

@@ -40,7 +40,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.routing_table import RoutingTable
 from repro.engine.executor import BaseExecutor, ControlMessage, SpoutExecutor
-from repro.engine.grouping import stable_hash
+from repro.engine.grouping import TableRouter, stable_hash
 from repro.engine.operators import StatefulBolt
 from repro.errors import ReconfigurationError
 
@@ -263,9 +263,28 @@ class ReconfigurationAgent:
         for stream_name, update in payload.edge_updates.items():
             edge = executor.out_edge(stream_name)
             edge.destinations = list(update.destinations)
-            executor.table_router(stream_name).resize(
-                len(update.destinations), update.table
-            )
+            router = edge.router
+            new_width = len(update.destinations)
+            if isinstance(router, TableRouter):
+                router.resize(new_width, update.table)
+            elif hasattr(router, "resize"):
+                # Hash/PKG/shuffle routers: adopt the new modulus and
+                # drop caches/counters sized for the old width.
+                router.resize(new_width)
+            else:
+                raise ReconfigurationError(
+                    f"{executor.name}: stream {stream_name!r} router "
+                    f"{type(router).__name__} has no resize seam; it "
+                    f"cannot survive a rescale"
+                )
+
+        # d-choices routers balance against accumulated send counts;
+        # pre-round counts describe traffic under the old placement, so
+        # they reset at the same barrier that swaps the tables.
+        for edge in executor.out_edges:
+            reset = getattr(edge.router, "reset_sent", None)
+            if reset is not None:
+                reset()
 
         for peer_instance, keys in payload.send.items():
             self._send_migrate(peer_instance, keys, payload.round_id)

@@ -4,20 +4,41 @@ A routing table overrides hash-based fields grouping for the keys it
 contains; unknown keys fall back to the hash policy (Section 3.3:
 "When a key is not present in the routing table, it falls back to the
 standard hash-based routing policy").
+
+Beyond the paper, a table may carry a *split set*: a small map from
+heavy-hitter keys to a tuple of destination instances. A hybrid router
+(``repro.engine.grouping.HybridTableRouter``) spreads a split key's
+tuples across its members instead of pinning them to one instance —
+the skew regime the paper's pure table routing cannot balance. The
+split set travels inside the table payload on purpose: every rule that
+already governs tables (PROPAGATE swaps, rescale's atomic resize,
+route-cache invalidation, routing-agreement checks) then governs the
+split set for free.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterator, Mapping, Optional, Set, Tuple
+
+#: split-set wire format: key → ordered tuple of destination instances
+SplitSet = Dict[Hashable, Tuple[int, ...]]
 
 
 class RoutingTable:
-    """Immutable-by-convention mapping from key to instance index."""
+    """Immutable-by-convention mapping from key to instance index,
+    plus an optional heavy-hitter split set."""
 
-    __slots__ = ("_mapping",)
+    __slots__ = ("_mapping", "_splits")
 
-    def __init__(self, mapping: Optional[Dict[Hashable, int]] = None) -> None:
+    def __init__(
+        self,
+        mapping: Optional[Dict[Hashable, int]] = None,
+        splits: Optional[Mapping[Hashable, Tuple[int, ...]]] = None,
+    ) -> None:
         self._mapping: Dict[Hashable, int] = dict(mapping or {})
+        self._splits: SplitSet = {
+            key: tuple(members) for key, members in (splits or {}).items()
+        }
 
     @classmethod
     def empty(cls) -> "RoutingTable":
@@ -28,8 +49,35 @@ class RoutingTable:
     # ------------------------------------------------------------------
 
     def lookup(self, key: Hashable) -> Optional[int]:
-        """Destination instance for ``key``, or None (hash fallback)."""
+        """Destination instance for ``key``, or None (hash fallback).
+
+        Split keys keep their single-owner entry here (when they have
+        one): non-hybrid consumers — ``RescaleSpec.owner_of``, state
+        evacuation — deliberately see the consolidated owner.
+        """
         return self._mapping.get(key)
+
+    def split(self, key: Hashable) -> Optional[Tuple[int, ...]]:
+        """The split members of ``key``, or None when it is not split."""
+        return self._splits.get(key)
+
+    @property
+    def splits(self) -> SplitSet:
+        """The split set (copy): key → tuple of member instances."""
+        return dict(self._splits)
+
+    @property
+    def num_split_keys(self) -> int:
+        return len(self._splits)
+
+    def split_keys(self) -> Iterator[Hashable]:
+        return iter(self._splits)
+
+    def with_splits(
+        self, splits: Optional[Mapping[Hashable, Tuple[int, ...]]]
+    ) -> "RoutingTable":
+        """A copy of this table carrying ``splits`` as its split set."""
+        return RoutingTable(self._mapping, splits)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._mapping
@@ -47,13 +95,18 @@ class RoutingTable:
         return dict(self._mapping)
 
     def max_instance(self) -> Optional[int]:
-        """Highest instance index any entry routes to, or None for an
-        empty table. A table is valid for width ``n`` iff
-        ``max_instance() is None or max_instance() < n`` — rescale
-        invariant checks audit exactly this."""
-        if not self._mapping:
-            return None
-        return max(self._mapping.values())
+        """Highest instance index any entry (or split member) routes
+        to, or None for an empty table. A table is valid for width
+        ``n`` iff ``max_instance() is None or max_instance() < n`` —
+        rescale invariant checks audit exactly this."""
+        top: Optional[int] = None
+        if self._mapping:
+            top = max(self._mapping.values())
+        for members in self._splits.values():
+            if members:
+                widest = max(members)
+                top = widest if top is None else max(top, widest)
+        return top
 
     # ------------------------------------------------------------------
     # Diffing (used to build migration lists)
@@ -62,29 +115,65 @@ class RoutingTable:
     def moved_keys(
         self, new: "RoutingTable", fallback
     ) -> Dict[Hashable, Tuple[int, int]]:
-        """Keys whose owner changes between ``self`` and ``new``.
+        """Keys whose single owner changes between ``self`` and ``new``.
 
         ``fallback(key) -> int`` resolves the owner of keys absent from
-        a table (the hash policy). Returns ``{key: (old, new)}`` over
-        the union of both tables' keys.
+        a table (the hash policy); it is invoked lazily, at most once
+        per key, and never for a key both tables contain. Returns
+        ``{key: (old, new)}`` over the union of both tables' keys.
+
+        Keys split in *either* table are excluded: a key split in
+        ``new`` must not migrate (its partial state stays put and new
+        traffic spreads over the members), and a key split only in
+        ``self`` consolidates from several holders at once — see
+        :meth:`split_consolidations`.
         """
         union: Set[Hashable] = set(self._mapping) | set(new._mapping)
         moved: Dict[Hashable, Tuple[int, int]] = {}
         for key in union:
+            if key in self._splits or key in new._splits:
+                continue
             old_owner = self._mapping.get(key)
-            if old_owner is None:
-                old_owner = fallback(key)
             new_owner = new._mapping.get(key)
-            if new_owner is None:
-                new_owner = fallback(key)
+            if old_owner is None or new_owner is None:
+                if old_owner is None and new_owner is None:
+                    continue  # both resolve to the same fallback owner
+                resolved = fallback(key)
+                if old_owner is None:
+                    old_owner = resolved
+                else:
+                    new_owner = resolved
             if old_owner != new_owner:
                 moved[key] = (old_owner, new_owner)
         return moved
 
+    def split_consolidations(
+        self, new: "RoutingTable", fallback
+    ) -> Dict[Hashable, Tuple[Tuple[int, ...], int]]:
+        """Keys split in ``self`` but not in ``new``: each must gather
+        its partial state from every old member onto its new single
+        owner. Returns ``{key: (old_members, new_owner)}``."""
+        consolidations: Dict[Hashable, Tuple[Tuple[int, ...], int]] = {}
+        for key, members in self._splits.items():
+            if key in new._splits:
+                continue
+            new_owner = new._mapping.get(key)
+            if new_owner is None:
+                new_owner = fallback(key)
+            consolidations[key] = (members, new_owner)
+        return consolidations
+
     def __eq__(self, other: object) -> bool:
         return (
-            isinstance(other, RoutingTable) and other._mapping == self._mapping
+            isinstance(other, RoutingTable)
+            and other._mapping == self._mapping
+            and other._splits == self._splits
         )
 
     def __repr__(self) -> str:
+        if self._splits:
+            return (
+                f"RoutingTable({len(self._mapping)} keys, "
+                f"{len(self._splits)} split)"
+            )
         return f"RoutingTable({len(self._mapping)} keys)"

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.engine.executor import BoltExecutor
-from repro.engine.grouping import TableRouter
+from repro.engine.grouping import PartialKeyGrouping, TableRouter
 from repro.engine.operators import StatefulBolt
 
 
@@ -61,15 +61,21 @@ def check_deployment(deployment) -> ValidationReport:
 
         # Unique key ownership only holds for *keyed* (fields-grouped)
         # inputs; a shuffle-fed stateful bolt legitimately counts the
-        # same key on several instances.
+        # same key on several instances. Keys currently split by a
+        # hybrid input (or routed by d-choices) hold partial aggregates
+        # on every member, so they are exempt too.
         keyed_input = any(
             getattr(stream.grouping, "key_fn", None) is not None
+            and not isinstance(stream.grouping, PartialKeyGrouping)
             for stream in topology.inputs_of(op.name)
         )
+        split_keys = _split_keys_into(deployment, topology, op.name)
         owners = {}
         for executor in instances:
             if keyed_input and isinstance(executor.operator, StatefulBolt):
                 for key in executor.operator.state:
+                    if key in split_keys:
+                        continue
                     if key in owners:
                         report.fail(
                             f"{op.name}: key {key!r} on instances "
@@ -85,13 +91,47 @@ def check_deployment(deployment) -> ValidationReport:
         for executor in instances:
             for edge in executor.out_edges:
                 router = edge.router
-                if isinstance(router, TableRouter) and router.table:
-                    num_destinations = len(edge.destinations)
-                    for key, instance in router.table.items():
+                if not isinstance(router, TableRouter):
+                    continue
+                table = router.table
+                if table is None:
+                    continue
+                num_destinations = len(edge.destinations)
+                if table:
+                    for key, instance in table.items():
                         if not 0 <= instance < num_destinations:
                             report.fail(
                                 f"{executor.name} stream "
                                 f"{edge.stream_name}: key {key!r} -> "
                                 f"instance {instance} out of range"
                             )
+                for key, members in (
+                    getattr(table, "splits", None) or {}
+                ).items():
+                    for member in members:
+                        if not 0 <= member < num_destinations:
+                            report.fail(
+                                f"{executor.name} stream "
+                                f"{edge.stream_name}: split key {key!r} "
+                                f"member {member} out of range"
+                            )
     return report
+
+
+def _split_keys_into(deployment, topology, op_name: str) -> set:
+    """Keys currently split by any table-routed stream into ``op_name``
+    (their partial state legitimately lives on several instances)."""
+    split: set = set()
+    for stream in topology.inputs_of(op_name):
+        for executor in deployment.instances(stream.src):
+            try:
+                edge = executor.out_edge(stream.name)
+            except Exception:
+                continue
+            router = edge.router
+            if not isinstance(router, TableRouter):
+                continue
+            splits = getattr(router.table, "splits", None)
+            if splits:
+                split.update(splits)
+    return split

@@ -24,6 +24,7 @@ from repro.engine.grouping import (
     CustomGrouping,
     FieldsGrouping,
     GlobalGrouping,
+    HybridTableFieldsGrouping,
     LocalOrShuffleGrouping,
     PartialKeyGrouping,
     ShuffleGrouping,
@@ -33,9 +34,11 @@ from repro.engine.operators import (
     Bolt,
     CountBolt,
     OperatorContext,
+    PartialCountBolt,
     PassThroughBolt,
     Spout,
     StatefulBolt,
+    SumBolt,
 )
 from repro.engine.flow import FlowPrediction, FlowStage, predict_throughput
 from repro.engine.runner import Deployment, RunConfig, RunResult, deploy, run
@@ -64,10 +67,13 @@ __all__ = [
     "LocalOrShuffleGrouping",
     "FieldsGrouping",
     "TableFieldsGrouping",
+    "HybridTableFieldsGrouping",
     "GlobalGrouping",
     "BroadcastGrouping",
     "PartialKeyGrouping",
     "CustomGrouping",
+    "PartialCountBolt",
+    "SumBolt",
     "RunConfig",
     "RunResult",
     "Deployment",

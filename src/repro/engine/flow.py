@@ -123,9 +123,15 @@ def synthetic_stages(
     padding: int,
     policy: str,
     costs: CostModel = DEFAULT_COSTS,
+    hot_share: float = 0.0,
 ) -> List[FlowStage]:
     """Flow stages for the Section 4.2 application under one of the
-    three routing policies (mirrors workloads.synthetic)."""
+    routing policies (mirrors workloads.synthetic).
+
+    ``hot_share`` only matters for the ``hybrid`` policy: the traffic
+    fraction carried by split heavy hitters, which route like hash
+    (spread over the members) while the tail keeps table locality.
+    """
     n = parallelism
     tuple_bytes = costs.tuple_header_bytes + 8 + 8 + padding
     if policy == "locality-aware":
@@ -140,6 +146,16 @@ def synthetic_stages(
             ab_remote = 0.0
         else:
             ab_remote = locality + (1.0 - locality) * (1.0 - 1.0 / n)
+    elif policy == "hybrid":
+        if not 0.0 <= hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in [0, 1]: {hot_share}")
+        # Hot traffic spreads over the split members (~hash odds of
+        # staying local); tail traffic keeps the table's locality.
+        spread = 1.0 - 1.0 / n if n > 1 else 0.0
+        sa_remote = hot_share * spread
+        ab_remote = (1.0 - hot_share) * (1.0 - locality) + hot_share * spread
+        if n == 1:
+            ab_remote = 0.0
     else:
         raise ValueError(f"unknown policy {policy!r}")
     if n == 1:

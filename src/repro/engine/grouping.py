@@ -16,16 +16,28 @@ Implemented groupings:
   table with hash fallback: the mechanism the paper's manager updates
   online;
 - **global**, **broadcast** — classic utilities;
-- **partial key** — the "power of both choices" baseline (Nasir et
-  al., ICDE'15), included for load-balance comparisons;
+- **partial key** — "power of d choices" key splitting (Nasir et al.,
+  ICDE'15, generalized to d ≥ 2 candidates). A first-class mode: pair
+  it with a downstream merge stage
+  (:class:`~repro.engine.operators.PartialCountBolt` →
+  :class:`~repro.engine.operators.SumBolt`) and split keys stay exact
+  for stateful counting;
+- **hybrid table fields** — table routing for the correlated tail,
+  d-choices splitting for the heavy hitters named in the table's
+  split set (the skew-resilient mode the manager drives online);
 - **custom** — arbitrary routing function (used by the worst-case
   policy of Section 4.2).
+
+Every ``build_router`` validates that the stream has at least one
+destination instance and raises :class:`~repro.errors.RoutingError`
+naming the stream otherwise (the routers' modular arithmetic would
+surface it later as a bare ``ZeroDivisionError`` mid-run).
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import RoutingError
 
@@ -192,6 +204,17 @@ class Grouping:
         raise NotImplementedError
 
 
+def _require_destinations(context: RouterContext) -> int:
+    """The stream's destination count, validated to be >= 1."""
+    n = len(context.dst_placements)
+    if n < 1:
+        raise RoutingError(
+            f"stream {context.stream_name!r} has no destination "
+            f"instances; a router needs at least one"
+        )
+    return n
+
+
 # ----------------------------------------------------------------------
 # Shuffle
 # ----------------------------------------------------------------------
@@ -207,12 +230,21 @@ class _ShuffleRouter(Router):
         self._next = (dst + 1) % self._n
         return [dst]
 
+    def resize(self, num_destinations: int) -> None:
+        """Adopt a new destination count (rescale seam)."""
+        if num_destinations < 1:
+            raise RoutingError(
+                f"num_destinations must be >= 1, got {num_destinations}"
+            )
+        self._n = num_destinations
+        self._next %= num_destinations
+
 
 class ShuffleGrouping(Grouping):
     """Round-robin over destination instances (stateless POs only)."""
 
     def build_router(self, context: RouterContext) -> Router:
-        n = len(context.dst_placements)
+        n = _require_destinations(context)
         return _ShuffleRouter(n, start=context.src_instance)
 
 
@@ -240,6 +272,7 @@ class LocalOrShuffleGrouping(Grouping):
     """Prefer a destination instance on the sender's server."""
 
     def build_router(self, context: RouterContext) -> Router:
+        _require_destinations(context)
         local = [
             i
             for i, server in enumerate(context.dst_placements)
@@ -284,6 +317,18 @@ class _HashFieldsRouter(Router):
             return route
         return [stable_hash(key, self._seed) % self._n]
 
+    def resize(self, num_destinations: int) -> None:
+        """Adopt a new destination count and drop the route cache — a
+        cached route under the old modulus would silently keep the
+        pre-rescale key placement (rescale seam)."""
+        if num_destinations < 1:
+            raise RoutingError(
+                f"num_destinations must be >= 1, got {num_destinations}"
+            )
+        self._n = num_destinations
+        if self._cache is not None:
+            self._cache.clear()
+
 
 class FieldsGrouping(Grouping):
     """Key-based deterministic routing: all tuples sharing a key reach
@@ -301,7 +346,7 @@ class FieldsGrouping(Grouping):
     def build_router(self, context: RouterContext) -> Router:
         return _HashFieldsRouter(
             self.key_fn,
-            len(context.dst_placements),
+            _require_destinations(context),
             context.seed,
             cache_size=context.cache_size,
         )
@@ -385,7 +430,9 @@ class TableRouter(Router):
         return ([stable_hash(key, self._seed) % self._n], False)
 
     def select(self, values: tuple) -> List[int]:
-        key = self._key_fn(values)
+        return self._select_for_key(self._key_fn(values))
+
+    def _select_for_key(self, key) -> List[int]:
         cache = self._cache
         if cache is not None and key.__class__ in _SCALAR_KEY_TYPES:
             memo_key = (key.__class__, key)
@@ -418,7 +465,102 @@ class TableFieldsGrouping(Grouping):
     def build_router(self, context: RouterContext) -> TableRouter:
         return TableRouter(
             self.key_fn,
-            len(context.dst_placements),
+            _require_destinations(context),
+            context.seed,
+            self.initial_table,
+            cache_size=context.cache_size,
+        )
+
+
+# ----------------------------------------------------------------------
+# Hybrid: locality tables for the tail, d-choices for heavy hitters
+# ----------------------------------------------------------------------
+
+
+class HybridTableRouter(TableRouter):
+    """Table router that splits heavy hitters across a small POI set.
+
+    Tail keys route exactly like :class:`TableRouter` (explicit table
+    entry, hash fallback) and stay LRU-cached. Keys named in the
+    table's *split set* (see
+    :meth:`repro.core.routing_table.RoutingTable.split`) are instead
+    sent to the least-loaded member of their split tuple — a
+    load-dependent decision that is never cached. Per-destination load
+    is tracked over *all* selects, so a split key's choice accounts
+    for the tail traffic each member already carries.
+
+    The split set arrives inside the table payload, so the cache
+    invalidation rules of ``update_table``/``resize`` cover it: any
+    table swap drops the route cache and resets the load counters.
+    """
+
+    def __init__(
+        self,
+        key_fn,
+        num_destinations: int,
+        seed: int,
+        table,
+        cache_size: int = DEFAULT_ROUTER_CACHE_SIZE,
+    ) -> None:
+        super().__init__(
+            key_fn, num_destinations, seed, table, cache_size=cache_size
+        )
+        self._sent = [0] * num_destinations
+        #: bound ``table.split`` when the table carries one (plain
+        #: lookup-only table objects degrade to pure table routing)
+        self._split_fn = getattr(table, "split", None)
+        #: selects resolved through the split set (telemetry)
+        self.split_routes = 0
+
+    @property
+    def sent_counts(self) -> List[int]:
+        """Per-destination send counts (copy, for tests/telemetry)."""
+        return list(self._sent)
+
+    def update_table(self, table) -> None:
+        super().update_table(table)
+        self._split_fn = getattr(table, "split", None)
+        self._sent = [0] * self._n
+
+    def resize(self, num_destinations: int, table) -> None:
+        super().resize(num_destinations, table)
+        self._split_fn = getattr(table, "split", None)
+        self._sent = [0] * self._n
+
+    def select(self, values: tuple) -> List[int]:
+        key = self._key_fn(values)
+        split_fn = self._split_fn
+        if split_fn is not None:
+            members = split_fn(key)
+            if members:
+                sent = self._sent
+                dst = min(
+                    (m for m in members if 0 <= m < self._n),
+                    key=sent.__getitem__,
+                    default=None,
+                )
+                if dst is None:
+                    raise RoutingError(
+                        f"split set maps {key!r} to {members}, all "
+                        f"outside the stream's {self._n} destinations"
+                    )
+                sent[dst] += 1
+                self.split_routes += 1
+                return [dst]
+        route = self._select_for_key(key)
+        self._sent[route[0]] += 1
+        return route
+
+
+class HybridTableFieldsGrouping(TableFieldsGrouping):
+    """Table fields grouping whose router honors the table's split
+    set: locality-aware routing for the tail, d-choices splitting for
+    the heavy hitters the manager marks each round."""
+
+    def build_router(self, context: RouterContext) -> HybridTableRouter:
+        return HybridTableRouter(
+            self.key_fn,
+            _require_destinations(context),
             context.seed,
             self.initial_table,
             cache_size=context.cache_size,
@@ -442,6 +584,7 @@ class GlobalGrouping(Grouping):
     """Everything goes to instance 0."""
 
     def build_router(self, context: RouterContext) -> Router:
+        _require_destinations(context)
         return _ConstantRouter([0])
 
 
@@ -449,73 +592,120 @@ class BroadcastGrouping(Grouping):
     """Every emission is replicated to every destination instance."""
 
     def build_router(self, context: RouterContext) -> Router:
-        return _ConstantRouter(list(range(len(context.dst_placements))))
+        return _ConstantRouter(list(range(_require_destinations(context))))
 
 
 # ----------------------------------------------------------------------
-# Partial key grouping (baseline from related work)
+# Partial key grouping (power of d choices)
 # ----------------------------------------------------------------------
 
+#: seed stride separating the d candidate hash functions
+_CANDIDATE_SEED_STRIDE = 0x9E3779B9
 
-class _PartialKeyRouter(Router):
-    """Partial-key router caching each key's *two hash candidates*.
-    Only the pure hash pair is memoized — the final pick depends on the
-    live per-destination send counts, so it is always recomputed."""
+
+def candidate_instances(
+    key: Any, seed: int, num_destinations: int, d: int
+) -> Tuple[int, ...]:
+    """The ``d`` candidate destinations of ``key`` (one per derived
+    hash function). Candidates may collide on small clusters — the
+    split is then narrower than ``d``, never wrong."""
+    return tuple(
+        stable_hash(key, seed + i * _CANDIDATE_SEED_STRIDE)
+        % num_destinations
+        for i in range(d)
+    )
+
+
+class _DChoicesRouter(Router):
+    """d-choices router caching each key's *candidate tuple* only —
+    the final pick depends on the live per-destination send counts, so
+    it is always recomputed against the cheapest candidate."""
 
     def __init__(
         self,
         key_fn,
         num_destinations: int,
         seed: int,
+        d: int = 2,
         cache_size: int = DEFAULT_ROUTER_CACHE_SIZE,
     ) -> None:
         self._key_fn = key_fn
         self._n = num_destinations
         self._seed = seed
+        self._d = d
         self._sent = [0] * num_destinations
         self._cache = _RouteCache(cache_size) if cache_size > 0 else None
 
-    def _candidates(self, key) -> tuple:
-        return (
-            stable_hash(key, self._seed) % self._n,
-            stable_hash(key, self._seed + 0x9E3779B9) % self._n,
-        )
+    @property
+    def sent_counts(self) -> List[int]:
+        """Per-destination send counts (copy, for tests/telemetry)."""
+        return list(self._sent)
+
+    def _candidates(self, key) -> Tuple[int, ...]:
+        return candidate_instances(key, self._seed, self._n, self._d)
 
     def select(self, values: tuple) -> List[int]:
         key = self._key_fn(values)
         cache = self._cache
         if cache is not None and key.__class__ in _SCALAR_KEY_TYPES:
             memo_key = (key.__class__, key)
-            pair = cache.get(memo_key)
-            if pair is None:
-                pair = self._candidates(key)
-                cache.put(memo_key, pair)
-            first, second = pair
+            candidates = cache.get(memo_key)
+            if candidates is None:
+                candidates = self._candidates(key)
+                cache.put(memo_key, candidates)
         else:
-            first, second = self._candidates(key)
+            candidates = self._candidates(key)
         sent = self._sent
-        dst = first if sent[first] <= sent[second] else second
+        dst = min(candidates, key=sent.__getitem__)
         sent[dst] += 1
         return [dst]
 
+    def reset_sent(self) -> None:
+        """Zero the per-destination send counts. Called on
+        reconfiguration so stale pre-round load does not bias the
+        post-round choices (the counts describe traffic that no longer
+        predicts the new placement's load)."""
+        self._sent = [0] * self._n
+
+    def resize(self, num_destinations: int) -> None:
+        """Adopt a new destination count: drop the candidate cache
+        (candidates are taken modulo the old width) and re-dimension
+        the send counters (rescale seam)."""
+        if num_destinations < 1:
+            raise RoutingError(
+                f"num_destinations must be >= 1, got {num_destinations}"
+            )
+        self._n = num_destinations
+        self.reset_sent()
+        if self._cache is not None:
+            self._cache.clear()
+
 
 class PartialKeyGrouping(Grouping):
-    """"Power of both choices" key routing (Nasir et al., ICDE'15).
+    """"Power of d choices" key routing (Nasir et al., ICDE'15;
+    d = 2 is the paper's partial key grouping).
 
-    Splits each key over two candidate instances, picking the less
-    loaded one locally. Better load balance than hash fields grouping,
-    but requires downstream aggregation for correctness — included here
-    as a load-balancing baseline only.
+    Splits each key over ``d`` candidate instances, picking the least
+    loaded one locally — far better load balance than hash fields
+    grouping under skew. Split keys hold *partial* aggregates per
+    instance; pair the stage with a downstream merge
+    (:class:`~repro.engine.operators.PartialCountBolt` feeding a
+    :class:`~repro.engine.operators.SumBolt` over a fields-grouped
+    stream) and stateful counting stays exact.
     """
 
-    def __init__(self, key: KeySpec) -> None:
+    def __init__(self, key: KeySpec, d: int = 2) -> None:
+        if d < 2:
+            raise RoutingError(f"d must be >= 2, got {d}")
         self.key_fn = normalize_key_fn(key)
+        self.d = d
 
     def build_router(self, context: RouterContext) -> Router:
-        return _PartialKeyRouter(
+        return _DChoicesRouter(
             self.key_fn,
-            len(context.dst_placements),
+            _require_destinations(context),
             context.seed,
+            d=self.d,
             cache_size=context.cache_size,
         )
 
@@ -545,4 +735,5 @@ class CustomGrouping(Grouping):
         self.fn = fn
 
     def build_router(self, context: RouterContext) -> Router:
+        _require_destinations(context)
         return _CustomRouter(self.fn, context)

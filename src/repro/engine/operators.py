@@ -181,6 +181,91 @@ class CountBolt(StatefulBolt):
         return self.state.get(key, 0)
 
 
+class PartialCountBolt(StatefulBolt):
+    """Per-instance partial counter for split-key (PKG/hybrid) streams.
+
+    Upstream routing may spread one key over several instances, so the
+    local counter is only a *partial* aggregate. Every processed tuple
+    emits ``(key, delta)`` downstream; route that stream with plain
+    fields grouping into a :class:`SumBolt` and the per-key totals stay
+    exact regardless of how the key was split.
+
+    Parameters
+    ----------
+    key:
+        Field index (or callable) identifying the counted key.
+    emit_every:
+        Emit the accumulated delta every N observations of a key
+        (1 = one delta per tuple, exact at every instant; larger values
+        batch deltas and trade staleness for traffic).
+    """
+
+    def __init__(self, key: int = 0, emit_every: int = 1) -> None:
+        super().__init__()
+        if emit_every < 1:
+            raise ValueError(f"emit_every must be >= 1, got {emit_every}")
+        if callable(key):
+            self._key_fn = key
+        else:
+            index = key
+            self._key_fn = lambda values: values[index]
+        self._emit_every = emit_every
+        self._pending: Dict[Hashable, int] = {}
+        self.processed = 0
+
+    def process(self, tup, context: OperatorContext) -> None:
+        key = self._key_fn(tup.values)
+        self.state[key] = self.state.get(key, 0) + 1
+        self.processed += 1
+        pending = self._pending.get(key, 0) + 1
+        if pending >= self._emit_every:
+            context.emit((key, pending))
+            self._pending.pop(key, None)
+        else:
+            self._pending[key] = pending
+
+    def merge_state_entry(self, key, mine, theirs):
+        return mine + theirs
+
+    def count(self, key: Hashable) -> int:
+        """Local partial count for ``key`` (NOT the global total)."""
+        return self.state.get(key, 0)
+
+
+class SumBolt(StatefulBolt):
+    """Merge stage summing ``(key, delta)`` tuples into exact totals.
+
+    The downstream half of the PKG/hybrid split-key pattern: feed it
+    the :class:`PartialCountBolt` output over a fields-grouped (or
+    table-grouped) stream keyed on field 0, and ``total(key)`` is the
+    exact global count even though upstream partials live on several
+    instances.
+    """
+
+    def __init__(
+        self, key: int = 0, value: int = 1, forward: bool = False
+    ) -> None:
+        super().__init__()
+        self._key_index = key
+        self._value_index = value
+        self._forward = forward
+        self.processed = 0
+
+    def process(self, tup, context: OperatorContext) -> None:
+        key = tup.values[self._key_index]
+        delta = tup.values[self._value_index]
+        self.state[key] = self.state.get(key, 0) + delta
+        self.processed += 1
+        if self._forward:
+            context.emit(tup.values)
+
+    def merge_state_entry(self, key, mine, theirs):
+        return mine + theirs
+
+    def total(self, key: Hashable) -> int:
+        return self.state.get(key, 0)
+
+
 class PassThroughBolt(Bolt):
     """Stateless identity bolt (used to model stateless POs)."""
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.manager import Manager, ManagerConfig
+from repro.core.manager import HybridConfig, Manager, ManagerConfig
 from repro.engine.cluster import Cluster
 from repro.engine.runner import deploy
 from repro.engine.simulator import Simulator
@@ -70,6 +70,10 @@ class EpisodeConfig:
     #: each retries until the manager is free (or the run ends), so a
     #: rescale landing mid-round is exercised, not silently dropped
     rescales: List[List] = field(default_factory=list)
+    #: hybrid routing: sources use HybridTableFieldsGrouping and the
+    #: manager splits heavy hitters with these [hot_fraction,
+    #: split_width, max_split_keys] settings; empty list = disabled
+    hybrid: List = field(default_factory=list)
     #: deliberate bug to arm (harness self-test); see INJECTIONS
     inject: Optional[str] = None
 
@@ -103,16 +107,17 @@ class EpisodeResult:
 
 
 def generate_config(
-    tree: RngTree, seed: int, rescale: bool = False
+    tree: RngTree, seed: int, rescale: bool = False, hybrid: bool = False
 ) -> EpisodeConfig:
     """Draw one episode's parameters from the RNG tree.
 
     ``seed`` is the episode seed (also stored in the config); all
     shape decisions come from the tree so the mapping seed → episode
     is stable across harness versions of the same tree layout.
-    ``rescale`` additionally draws scripted mid-stream rescales from a
-    *separate* RNG stream, so seed → base episode stays identical with
-    and without the flag.
+    ``rescale`` additionally draws scripted mid-stream rescales, and
+    ``hybrid`` draws hot-key-splitting settings, each from a *separate*
+    RNG stream, so seed → base episode stays identical with and
+    without either flag.
     """
     rng = tree.rng("episode", seed)
     parallelism = rng.choice((2, 2, 3, 4))
@@ -149,6 +154,13 @@ def generate_config(
             target = rescale_rng.choice((1, 2, 3, 4, 5))
             actions.append([round(at_s, 6), target])
         config.rescales = sorted(actions)
+    if hybrid:
+        hybrid_rng = tree.rng("hybrid", seed)
+        config.hybrid = [
+            round(hybrid_rng.uniform(0.3, 0.8), 6),  # hot_fraction
+            hybrid_rng.choice((2, 2, 3)),  # split_width
+            hybrid_rng.choice((2, 4, 8)),  # max_split_keys
+        ]
     return config
 
 
@@ -167,7 +179,17 @@ def run_episode(config: EpisodeConfig) -> EpisodeResult:
             tuples_per_instance=config.tuples_per_instance,
         )
     )
-    deployment = deploy(sim, cluster, workload.online_topology())
+    hybrid = None
+    if config.hybrid:
+        hot_fraction, split_width, max_split_keys = config.hybrid
+        hybrid = HybridConfig(
+            hot_fraction=float(hot_fraction),
+            split_width=int(split_width),
+            max_split_keys=int(max_split_keys),
+        )
+    deployment = deploy(
+        sim, cluster, workload.online_topology(hybrid=hybrid is not None)
+    )
     manager = Manager(
         deployment,
         ManagerConfig(
@@ -176,6 +198,7 @@ def run_episode(config: EpisodeConfig) -> EpisodeResult:
             rpc_latency_s=config.rpc_latency_s,
             round_timeout_s=config.round_timeout_s,
             seed=config.seed,
+            hybrid=hybrid,
         ),
     )
     sink = MemorySink()

@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="script 1-2 elastic rescales into every episode",
     )
     parser.add_argument(
+        "--hybrid", action="store_true",
+        help="enable hybrid routing (hot-key splitting) in every episode",
+    )
+    parser.add_argument(
         "--replay", metavar="BUNDLE", default=None,
         help="replay one bundle and verify it reproduces identically",
     )
@@ -83,7 +87,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     rounds = completed = aborted = faults = 0
     for index in range(args.seeds):
         seed = args.master_seed + index
-        config = generate_config(tree, seed, rescale=args.rescale)
+        config = generate_config(
+            tree, seed, rescale=args.rescale, hybrid=args.hybrid
+        )
         if args.inject is not None:
             config.inject = args.inject
         result = run_episode(config)

@@ -24,7 +24,11 @@ Checked **while running**:
 - ``duplicate_extract`` / ``duplicate_install`` — a key's state is
   extracted at most once and installed at most once per round
   (exactly-once migration), attributed to rounds via the round id
-  carried by the triggering control message.
+  carried by the triggering control message. Keys *split* by hybrid
+  routing when the round started get a per-split-set allowance
+  instead: consolidating a key spread over ``m`` members legitimately
+  extracts (and installs, merging) up to ``m`` times in one round —
+  conservation still verifies the summed totals at quiescence.
 
 Checked **at final quiescence** (:meth:`InvariantSuite.final_check`):
 
@@ -238,6 +242,20 @@ class InvariantSuite:
                 return bool(getattr(record, "is_rescale", False))
         return False
 
+    def _split_allowance(
+        self, round_id: int, op_name: str, key: Hashable
+    ) -> int:
+        """How many extract/install events round ``round_id`` may
+        legitimately produce for ``key`` at ``op_name``: one normally,
+        the pre-round split-member count for a key hybrid routing had
+        split when the round started (consolidation gathers one partial
+        per member)."""
+        for record in reversed(self.manager.rounds):
+            if record.round_id == round_id:
+                presplit = getattr(record, "presplit_keys", None) or {}
+                return max(1, presplit.get(op_name, {}).get(key, 1))
+        return 1
+
     def _record_extract(self, executor, entries: Dict) -> None:
         round_id = self._context_round()
         self._ledger += _state_weight(entries)
@@ -247,7 +265,10 @@ class InvariantSuite:
             token = (round_id, executor.op_name, key)
             count = self._extracts.get(token, 0) + 1
             self._extracts[token] = count
-            if count > 1 and not self._is_rescale_round(round_id):
+            if (
+                count > self._split_allowance(round_id, executor.op_name, key)
+                and not self._is_rescale_round(round_id)
+            ):
                 self._fail(
                     "duplicate_extract",
                     f"{executor.name}: key {key!r} extracted {count} times "
@@ -264,7 +285,10 @@ class InvariantSuite:
             token = (round_id, executor.op_name, key)
             count = self._installs.get(token, 0) + 1
             self._installs[token] = count
-            if count > 1 and not self._is_rescale_round(round_id):
+            if (
+                count > self._split_allowance(round_id, executor.op_name, key)
+                and not self._is_rescale_round(round_id)
+            ):
                 self._fail(
                     "duplicate_install",
                     f"{executor.name}: key {key!r} installed {count} times "

@@ -18,6 +18,7 @@ paper's experimental conditions.
 
 from repro.workloads.flickr import FlickrConfig, FlickrWorkload
 from repro.workloads.pairs import PairsConfig, PairsWorkload
+from repro.workloads.skew import SkewConfig, SkewWorkload
 from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
 from repro.workloads.twitter import TwitterConfig, TwitterWorkload
 from repro.workloads.zipf import ZipfSampler
@@ -26,6 +27,8 @@ __all__ = [
     "ZipfSampler",
     "PairsConfig",
     "PairsWorkload",
+    "SkewConfig",
+    "SkewWorkload",
     "SyntheticConfig",
     "SyntheticWorkload",
     "TwitterConfig",

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
-from repro.engine import TableFieldsGrouping, Topology, TopologyBuilder
+from repro.engine import (
+    HybridTableFieldsGrouping,
+    TableFieldsGrouping,
+    Topology,
+    TopologyBuilder,
+)
 from repro.engine.operators import CountBolt, IteratorSpout
 from repro.errors import WorkloadError
 from repro.workloads.zipf import ZipfSampler, derived_rng
@@ -78,10 +83,14 @@ class PairsWorkload:
                 j = zipf.sample()
             yield (i, j)
 
-    def online_topology(self) -> Topology:
+    def online_topology(self, hybrid: bool = False) -> Topology:
         """``S -> A (table on f0) -> B (table on f1)`` with swappable
-        routing tables, for manager-driven fuzz episodes."""
+        routing tables, for manager-driven fuzz episodes. With
+        ``hybrid`` the streams use ``HybridTableFieldsGrouping`` so a
+        manager configured with a ``HybridConfig`` can split heavy
+        hitters (identical routing until a split set ships)."""
         n = self.config.parallelism
+        grouping = HybridTableFieldsGrouping if hybrid else TableFieldsGrouping
         builder = TopologyBuilder()
         builder.spout(
             "S",
@@ -94,13 +103,13 @@ class PairsWorkload:
             "A",
             lambda: CountBolt(0, forward=True),
             parallelism=n,
-            inputs={"S": TableFieldsGrouping(0)},
+            inputs={"S": grouping(0)},
         )
         builder.bolt(
             "B",
             lambda: CountBolt(1, forward=False),
             parallelism=n,
-            inputs={"A": TableFieldsGrouping(1)},
+            inputs={"A": grouping(1)},
         )
         return builder.build()
 

@@ -54,3 +54,95 @@ def test_moved_keys_respects_fallback_identity():
 
 def test_moved_keys_empty_tables():
     assert RoutingTable().moved_keys(RoutingTable(), lambda k: 0) == {}
+
+
+def test_moved_keys_fallback_called_lazily_at_most_once_per_key():
+    """The hash fallback is the expensive resolver; it must run at
+    most once per key and never for a key both tables contain."""
+    calls = {}
+
+    def fallback(key):
+        calls[key] = calls.get(key, 0) + 1
+        return 0
+
+    old = RoutingTable({"both": 1, "old_only": 2, "stays": 1})
+    new = RoutingTable({"both": 2, "new_only": 1, "stays": 1})
+    moved = old.moved_keys(new, fallback)
+    assert moved == {
+        "both": (1, 2),
+        "old_only": (2, 0),
+        "new_only": (0, 1),
+    }
+    assert calls == {"old_only": 1, "new_only": 1}
+
+
+# ----------------------------------------------------------------------
+# Split sets (hybrid routing payload)
+# ----------------------------------------------------------------------
+
+
+def test_split_set_accessors():
+    table = RoutingTable({"a": 1}, {"hot": (0, 2)})
+    assert table.split("hot") == (0, 2)
+    assert table.split("a") is None
+    assert table.splits == {"hot": (0, 2)}
+    assert table.num_split_keys == 1
+    assert list(table.split_keys()) == ["hot"]
+    # Non-hybrid consumers see the consolidated single-owner view.
+    assert table.lookup("hot") is None
+    # .splits is a copy, not a live view.
+    snapshot = table.splits
+    snapshot["x"] = (1,)
+    assert table.num_split_keys == 1
+
+
+def test_with_splits_keeps_mapping_and_replaces_split_set():
+    base = RoutingTable({"a": 1}, {"old": (0, 1)})
+    replaced = base.with_splits({"a": (0, 1)})
+    assert replaced.lookup("a") == 1
+    assert replaced.split("a") == (0, 1)
+    assert replaced.split("old") is None
+    assert base.split("old") == (0, 1)  # original untouched
+    assert replaced.with_splits(None).splits == {}
+
+
+def test_equality_includes_splits():
+    assert RoutingTable({"a": 1}, {"h": (0, 1)}) == RoutingTable(
+        {"a": 1}, {"h": (0, 1)}
+    )
+    assert RoutingTable({"a": 1}, {"h": (0, 1)}) != RoutingTable({"a": 1})
+    assert RoutingTable({"a": 1}, {"h": (0, 1)}) != RoutingTable(
+        {"a": 1}, {"h": (0, 2)}
+    )
+
+
+def test_max_instance_includes_split_members():
+    assert RoutingTable().max_instance() is None
+    assert RoutingTable({"a": 2}).max_instance() == 2
+    assert RoutingTable({"a": 2}, {"h": (0, 5)}).max_instance() == 5
+    assert RoutingTable({}, {"h": (1,)}).max_instance() == 1
+
+
+def test_moved_keys_excludes_keys_split_in_either_table():
+    old = RoutingTable({"hot": 0, "k": 0}, {"hot": (0, 1)})
+    new = RoutingTable({"hot": 2, "k": 1})
+    # "hot" was split: it consolidates (split_consolidations), never
+    # appears as a single-owner move.
+    assert old.moved_keys(new, lambda k: 9) == {"k": (0, 1)}
+    # Split in the *new* table: partial state stays put, nothing moves.
+    old2 = RoutingTable({"hot": 0})
+    new2 = RoutingTable({"hot": 2}, {"hot": (1, 2)})
+    assert old2.moved_keys(new2, lambda k: 9) == {}
+
+
+def test_split_consolidations():
+    old = RoutingTable(
+        {"h": 0, "g": 1},
+        {"h": (0, 1), "g": (1, 2), "f": (0, 3)},
+    )
+    new = RoutingTable({"h": 2}, {"g": (1, 2)})
+    cons = old.split_consolidations(new, lambda k: 7)
+    # "h" unsplits onto its new owner; "g" stays split (nothing to
+    # gather); "f" unsplits with no table entry, so the fallback owner
+    # collects it.
+    assert cons == {"h": ((0, 1), 2), "f": ((0, 3), 7)}

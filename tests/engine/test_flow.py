@@ -97,3 +97,52 @@ def test_flow_model_matches_des(parallelism, locality, padding, policy):
     assert result.throughput == pytest.approx(
         prediction.throughput, rel=tolerance
     )
+
+
+def _remotes(stages):
+    sa = next(s for s in stages if s.name == "A")
+    ab = next(s for s in stages if s.name == "B")
+    return sa.remote_in, ab.remote_in
+
+
+def test_hybrid_policy_with_no_hot_share_matches_locality_aware():
+    hybrid = synthetic_stages(4, 0.6, 0, "hybrid", hot_share=0.0)
+    table = synthetic_stages(4, 0.6, 0, "locality-aware")
+    assert _remotes(hybrid) == pytest.approx(_remotes(table))
+
+
+def test_hybrid_policy_remote_fractions():
+    """Split traffic pays hash-like spread (1 - 1/n) on both hops;
+    tail traffic keeps the table's locality on the keyed hop."""
+    n, locality, hot = 4, 0.6, 0.3
+    spread = 1 - 1 / n
+    sa_remote, ab_remote = _remotes(
+        synthetic_stages(n, locality, 0, "hybrid", hot_share=hot)
+    )
+    assert sa_remote == pytest.approx(hot * spread)
+    assert ab_remote == pytest.approx(
+        (1 - hot) * (1 - locality) + hot * spread
+    )
+
+
+def test_hybrid_policy_all_hot_is_all_spread():
+    sa_remote, ab_remote = _remotes(
+        synthetic_stages(4, 0.6, 0, "hybrid", hot_share=1.0)
+    )
+    assert sa_remote == pytest.approx(0.75)
+    assert ab_remote == pytest.approx(0.75)
+
+
+def test_hybrid_policy_single_instance_is_fully_local():
+    sa_remote, ab_remote = _remotes(
+        synthetic_stages(1, 0.6, 0, "hybrid", hot_share=0.8)
+    )
+    assert sa_remote == 0.0
+    assert ab_remote == 0.0
+
+
+def test_hybrid_policy_rejects_bad_hot_share():
+    with pytest.raises(ValueError):
+        synthetic_stages(4, 0.6, 0, "hybrid", hot_share=1.5)
+    with pytest.raises(ValueError):
+        synthetic_stages(4, 0.6, 0, "hybrid", hot_share=-0.1)

@@ -74,3 +74,40 @@ def test_verbose_mode_prints_fingerprints(capsys, tmp_path):
     )
     assert code == 0
     assert "fingerprint=0x" in capsys.readouterr().out
+
+
+def test_hybrid_sweep_exits_zero(tmp_path, capsys):
+    bundle_dir = str(tmp_path / "bundles")
+    code = main(
+        [
+            "--seeds", "2",
+            "--master-seed", "0",
+            "--hybrid",
+            "--bundle-dir", bundle_dir,
+        ]
+    )
+    assert code == 0
+    assert not os.path.exists(bundle_dir)
+    assert "0 with violations" in capsys.readouterr().out
+
+
+def test_hybrid_flag_draws_from_a_separate_rng_stream():
+    """--hybrid must not perturb the base episode: every non-hybrid
+    field is drawn from the same named RNG streams, so the same seed
+    yields the identical episode with splitting merely switched on."""
+    from dataclasses import asdict
+
+    from repro.testing.episode import generate_config
+    from repro.testing.rng import RngTree
+
+    for seed in range(3):
+        base = asdict(generate_config(RngTree(9), seed))
+        hybrid = asdict(generate_config(RngTree(9), seed, hybrid=True))
+        assert not base["hybrid"]
+        assert hybrid["hybrid"], "hybrid episodes must carry settings"
+        hot_fraction, split_width, max_split_keys = hybrid["hybrid"]
+        assert 0.3 <= hot_fraction <= 0.8
+        assert split_width in (2, 3)
+        assert max_split_keys in (2, 4, 8)
+        base.pop("hybrid"), hybrid.pop("hybrid")
+        assert base == hybrid

@@ -1,0 +1,97 @@
+"""The Zipf-plus-flash-crowd workload behind the skew experiment."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine import Cluster, Simulator, deploy
+from repro.errors import WorkloadError
+from repro.workloads.skew import (
+    HOT_KEY,
+    SKEW_POLICIES,
+    SkewConfig,
+    SkewWorkload,
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        parallelism=2, ranks=8, flash_share=0.3, tuples_per_instance=300
+    )
+    defaults.update(overrides)
+    return SkewConfig(**defaults)
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        SkewConfig(parallelism=0)
+    with pytest.raises(WorkloadError):
+        SkewConfig(ranks=0)
+    with pytest.raises(WorkloadError):
+        SkewConfig(flash_share=1.5)
+    with pytest.raises(WorkloadError):
+        SkewConfig(split_width=1)
+
+
+def test_tuple_stream_is_deterministic_and_bounded():
+    workload = SkewWorkload(_config())
+    first = list(workload.tuples_for_instance(0))
+    second = list(workload.tuples_for_instance(0))
+    assert first == second
+    assert len(first) == 300
+    assert first != list(workload.tuples_for_instance(1))
+
+
+def test_tail_keys_have_perfect_home_affinity():
+    """Spout instance i only emits tail keys whose home (key % P) is
+    i — the construction that makes pure table routing 100% local on
+    the tail."""
+    config = _config(flash_share=0.0)
+    workload = SkewWorkload(config)
+    table = workload.home_table()
+    for instance in range(config.parallelism):
+        for (key,) in workload.tuples_for_instance(instance):
+            assert table[key] == instance
+
+
+def test_home_table_and_split_set_shape():
+    config = _config(parallelism=4, split_width=3)
+    workload = SkewWorkload(config)
+    table = workload.home_table()
+    assert table[HOT_KEY] == 0
+    assert len(table) == config.ranks * config.parallelism + 1
+    assert workload.split_set() == {HOT_KEY: (0, 1, 2)}
+    # split_width clamps to the parallelism
+    narrow = SkewWorkload(_config(parallelism=2, split_width=8))
+    assert narrow.split_set() == {HOT_KEY: (0, 1)}
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(WorkloadError):
+        SkewWorkload(_config()).topology("round-robin")
+
+
+@pytest.mark.parametrize("policy", SKEW_POLICIES)
+def test_each_policy_counts_every_tuple(policy):
+    workload = SkewWorkload(_config())
+    sim = Simulator()
+    cluster = Cluster(sim, 2)
+    deployment = deploy(sim, cluster, workload.topology(policy))
+    deployment.start()
+    sim.run()
+
+    totals = Counter()
+    per_instance_hot = {}
+    for executor in deployment.instances("A"):
+        state = executor.operator.state
+        for key, count in state.items():
+            totals[key] += count
+        per_instance_hot[executor.instance] = state.get(HOT_KEY, 0)
+
+    assert totals == Counter(workload.expected_counts())
+    if policy == "table":
+        # The flash key pins its single table owner.
+        assert per_instance_hot[1] == 0
+    elif policy == "hybrid":
+        # The flash key spreads over both split members.
+        assert per_instance_hot[0] > 0 and per_instance_hot[1] > 0

@@ -11,6 +11,10 @@ Measures how fast the *engine itself* runs on this machine:
   emission planning;
 - **skew axis**: wall-clock throughput and load imbalance of the
   Zipf-plus-flash-crowd workload under pure-table vs hybrid routing;
+- **scale axis**: routing-table memory (bytes/key, plain vs compact)
+  and control-plane bytes per reconfiguration round (delta vs full
+  snapshot) at 10k/100k/1M keys, plus compact build and lookup rates —
+  the memory-and-bytes trajectory of DESIGN.md §13;
 - **telemetry overhead**: instrumented-vs-bare process CPU time on
   the null sink (the DESIGN.md §8 <3 % budget, gated strictly by
   ``bench_observability.py``; recorded here for the trajectory).
@@ -57,7 +61,15 @@ from repro.engine.grouping import (
 )
 from repro.engine.tuples import Padding
 from repro.spacesaving import SpaceSaving
+from repro.core.compact_table import (
+    CompactRoutingTable,
+    CompactTableConfig,
+    plain_table_memory_bytes,
+)
+from repro.core.table_delta import TableDelta, snapshot_wire_bytes
 from repro.workloads import (
+    BigKeysConfig,
+    BigKeysWorkload,
     FlickrConfig,
     FlickrWorkload,
     SkewConfig,
@@ -285,6 +297,82 @@ def bench_skew() -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# Scale axis: table memory and control-plane bytes at 10k → 1M keys
+# ----------------------------------------------------------------------
+
+#: key count → metric tag of the scale sweep
+SCALE_POINTS = ((10_000, "10k"), (100_000, "100k"), (1_000_000, "1m"))
+
+
+def bench_scale() -> Dict[str, float]:
+    """Memory and control-plane bytes as the key population grows.
+
+    The ``*_bytes_per_key`` / ``*_bytes_per_round`` numbers come from
+    the DESIGN.md §13 byte model (machine-independent, identical in
+    quick and full mode — only the build/lookup rates are wall clock).
+    ``*_bytes_per_key`` joins the CI regression gate as a
+    lower-is-better axis (tools/bench_record.py); the per-round numbers
+    demonstrate the delta-encoding claim: snapshot bytes grow linearly
+    with keys while delta bytes track the fixed per-round churn.
+    """
+    metrics: Dict[str, float] = {}
+    for num_keys, tag in SCALE_POINTS:
+        workload = BigKeysWorkload(BigKeysConfig(num_keys=num_keys))
+        old = workload.make_table(0)
+        new = workload.make_table(1)
+        size = len(old)
+
+        start = time.perf_counter()
+        compact = CompactRoutingTable.from_table(old)
+        build_s = time.perf_counter() - start
+        metrics[f"scale_{tag}_compact_build_keys_per_s"] = size / build_s
+
+        metrics[f"scale_{tag}_plain_bytes_per_key"] = (
+            plain_table_memory_bytes(old) / size
+        )
+        metrics[f"scale_{tag}_compact_bytes_per_key"] = (
+            compact.memory_bytes() / size
+        )
+
+        delta = TableDelta.diff(old, new)
+        snapshot_bytes = snapshot_wire_bytes(old)
+        metrics[f"scale_{tag}_delta_bytes_per_round"] = float(
+            delta.wire_bytes()
+        )
+        metrics[f"scale_{tag}_snapshot_bytes_per_round"] = float(
+            snapshot_bytes
+        )
+        metrics[f"scale_{tag}_propagate_saved_frac"] = (
+            1.0 - delta.wire_bytes() / snapshot_bytes
+        )
+
+        # Measured false-route rate: absent keys must fall back to
+        # hashing; the expected rate is the §13 model prediction.
+        absent = [
+            workload.key(index)
+            for index in range(size, min(num_keys, size + 50_000))
+        ]
+        false_routes = sum(
+            1 for key in absent if compact.lookup(key) is not None
+        )
+        metrics[f"scale_{tag}_false_route_rate"] = (
+            false_routes / len(absent) if absent else 0.0
+        )
+
+        sample = [workload.key(index) for index in range(0, size, 7)][
+            :20_000
+        ]
+        lookup = compact.lookup
+        start = time.perf_counter()
+        for key in sample:
+            lookup(key)
+        metrics[f"scale_{tag}_compact_lookup_per_s"] = len(sample) / (
+            time.perf_counter() - start
+        )
+    return metrics
+
+
+# ----------------------------------------------------------------------
 # Elasticity-seam overhead (gated here: the rescale machinery must be
 # free when the controller is not started)
 # ----------------------------------------------------------------------
@@ -369,22 +457,26 @@ def run_suite(include_overhead: bool = True) -> Dict[str, float]:
     }
     metrics.update(bench_routers(n))
     metrics.update(bench_skew())
+    metrics.update(bench_scale())
     if include_overhead:
         metrics["telemetry_overhead_frac"] = bench_telemetry_overhead()
         metrics["elasticity_overhead_frac"] = bench_elasticity_overhead()
     return metrics
 
 
+def _format_value(key: str, value: float) -> str:
+    if key.endswith("_per_s"):
+        return f"{value:,.0f}/s"
+    if key.endswith(("_bytes_per_key", "_bytes_per_round")):
+        return f"{value:,.1f} B"
+    if key.endswith("_rate"):
+        return f"{value:.2e}"
+    return f"{value:+.2%}"
+
+
 def _format(metrics: Dict[str, float]) -> str:
     rows = [
-        {
-            "metric": key,
-            "value": (
-                f"{value:,.0f}/s"
-                if key.endswith("_per_s")
-                else f"{value:+.2%}"
-            ),
-        }
+        {"metric": key, "value": _format_value(key, value)}
         for key, value in sorted(metrics.items())
     ]
     mode = "quick" if _quick() else "full"
@@ -417,6 +509,50 @@ def test_engine_suite_and_regression_gate():
         baseline["metrics"], metrics, tolerance=0.20
     )
     assert not regressions, "\n".join(regressions)
+
+
+def test_scale_sweep_bytes_gate():
+    """The 10k→1M scale sweep's claims, gated:
+
+    - compact bytes/key stays within tolerance of the committed
+      baseline (lower-is-better axis of tools/bench_record.py);
+    - measured false-route rate stays under the default budget;
+    - control-plane bytes/round are sub-linear under delta encoding —
+      per-round delta bytes track the fixed churn (flat across 100x
+      more keys) while snapshots grow linearly.
+    """
+    metrics = bench_scale()
+    print()
+    print(_format(metrics))
+
+    doc = bench_record.load()
+    baseline = doc.get("baseline")
+    assert baseline is not None, "BENCH_engine.json has no baseline"
+    bytes_per_key = {
+        key: value
+        for key, value in baseline["metrics"].items()
+        if key.endswith("_bytes_per_key")
+    }
+    assert bytes_per_key, (
+        "baseline has no scale axis; merge the sweep's *_bytes_per_key "
+        "metrics into BENCH_engine.json's baseline entry"
+    )
+    # The byte model is machine-independent: tighter tolerance than the
+    # wall-clock gates.
+    regressions = bench_record.compare(bytes_per_key, metrics, tolerance=0.10)
+    assert not regressions, "\n".join(regressions)
+
+    budget = CompactTableConfig().false_route_budget
+    for _, tag in SCALE_POINTS:
+        assert metrics[f"scale_{tag}_false_route_rate"] <= budget
+    assert (
+        metrics["scale_1m_delta_bytes_per_round"]
+        < 2 * metrics["scale_10k_delta_bytes_per_round"]
+    ), "delta bytes/round must track churn, not key count"
+    assert (
+        metrics["scale_1m_snapshot_bytes_per_round"]
+        > 50 * metrics["scale_10k_snapshot_bytes_per_round"]
+    ), "snapshot bytes/round should grow ~linearly with keys"
 
 
 def test_elasticity_seams_overhead_within_budget():

@@ -22,6 +22,8 @@ Pipeline (Section 3 of the paper):
 implement the paper's future-work extensions.
 """
 
+from repro.core.compact_table import CompactRoutingTable, CompactTableConfig
+from repro.core.table_delta import TableDelta
 from repro.core.assignment import (
     KeyAssignment,
     ReconfigurationPlan,
@@ -44,6 +46,9 @@ __all__ = [
     "PairTracker",
     "KeyGraph",
     "RoutingTable",
+    "CompactRoutingTable",
+    "CompactTableConfig",
+    "TableDelta",
     "KeyAssignment",
     "ReconfigurationPlan",
     "compute_assignment",

@@ -37,7 +37,13 @@ from repro.core.reconfiguration import (
     RescaleSpec,
     install_agents,
 )
+from repro.core.compact_table import (
+    CompactRoutingTable,
+    CompactTableConfig,
+    plain_table_memory_bytes,
+)
 from repro.core.routing_table import RoutingTable
+from repro.core.table_delta import TableDelta, snapshot_wire_bytes
 from repro.engine.executor import ControlMessage, SpoutExecutor
 from repro.engine.grouping import (
     TableFieldsGrouping,
@@ -109,6 +115,16 @@ class ManagerConfig:
     #: Hybrid (hot-key splitting) routing; None keeps the paper's pure
     #: table routing and leaves planning byte-identical to it.
     hybrid: Optional[HybridConfig] = None
+    #: Ship routing-table updates as :class:`TableDelta` diffs against
+    #: the table the receivers already hold, with a full-snapshot
+    #: fallback whenever the delta would not be smaller or the manager
+    #: does not know the receiver's base (first push, post-abort).
+    #: False ships full tables every round (docs/PROTOCOL.md).
+    delta_propagation: bool = True
+    #: Compact (fingerprint + front-filter) data-plane tables: the
+    #: manager keeps planning on plain tables and compacts at the wire
+    #: boundary. None ships plain tables (DESIGN.md §13).
+    compact_tables: Optional[CompactTableConfig] = None
 
 
 @dataclass
@@ -239,6 +255,22 @@ class Manager:
         registry.register_callback(
             "reconf_stale_callbacks", lambda: self.stale_callbacks
         )
+        if self.config.compact_tables is not None:
+            registry.gauge("compact_false_route_budget").set(
+                self.config.compact_tables.false_route_budget
+            )
+            registry.register_callback(
+                "compact_filter_rejects",
+                lambda: self._sum_compact_counter("filter_rejects"),
+            )
+            registry.register_callback(
+                "compact_filter_false_positives",
+                lambda: self._sum_compact_counter("filter_false_positives"),
+            )
+            registry.register_callback(
+                "compact_table_lookups",
+                lambda: self._sum_compact_counter("lookups"),
+            )
 
     # ------------------------------------------------------------------
     # Installation
@@ -906,10 +938,14 @@ class Manager:
                     f"{stream_name!r}"
                 )
             src = stream.src_op
-            for executor in self.deployment.instances(src):
+            instances = self.deployment.instances(src)
+            update = self._encode_table_update(
+                stream_name, table, copies=len(instances)
+            )
+            for executor in instances:
                 payloads[(src, executor.instance)].router_updates[
                     stream_name
-                ] = table
+                ] = update
 
         # Migration lists go to the stateful destination executors.
         for op_name, per_pair in plan.migrations.items():
@@ -920,6 +956,71 @@ class Manager:
                 receiver.receive_keys.extend(keys)
                 receiver.expected_migrations += 1
         return payloads
+
+    def _compact_router_tables(self):
+        """Live compact tables held by source routers (metrics)."""
+        for stream in self._routed_streams:
+            for executor in self.deployment.instances(stream.src_op):
+                table = executor.table_router(stream.name).table
+                if isinstance(table, CompactRoutingTable):
+                    yield table
+
+    def _sum_compact_counter(self, attr: str) -> int:
+        return sum(
+            getattr(table, attr) for table in self._compact_router_tables()
+        )
+
+    def _wire_table(self, table: Optional[RoutingTable]):
+        """The representation routers should hold: the plain table, or
+        its compacted twin when compact tables are configured. Planning
+        stays on plain tables either way (DESIGN.md §13)."""
+        if table is None or self.config.compact_tables is None:
+            return table
+        return CompactRoutingTable.from_table(
+            table, self.config.compact_tables
+        )
+
+    def _encode_table_update(
+        self, stream_name: str, table: RoutingTable, copies: int = 1
+    ):
+        """The router_updates payload for one routed stream: a
+        :class:`TableDelta` against the base the receivers hold
+        (``_tables_before_round``), or a full table when deltas are off
+        or no shared base exists. Feeds the ``propagate_bytes_*``
+        counters and the per-stream memory gauges; ``copies`` is the
+        number of receivers the payload fans out to."""
+        wire_table = self._wire_table(table)
+        full_bytes = snapshot_wire_bytes(wire_table)
+        base = self._tables_before_round.get(stream_name)
+        if self.config.delta_propagation and base is not None:
+            update = TableDelta.diff(base, table, snapshot_table=wire_table)
+            shipped_bytes = update.wire_bytes()
+        else:
+            update = wire_table
+            shipped_bytes = full_bytes
+        registry = self.deployment.metrics.registry
+        registry.counter("propagate_bytes_sent", stream=stream_name).inc(
+            shipped_bytes * copies
+        )
+        registry.counter("propagate_bytes_saved", stream=stream_name).inc(
+            max(0, full_bytes - shipped_bytes) * copies
+        )
+        if isinstance(wire_table, CompactRoutingTable):
+            table_bytes = wire_table.table_bytes()
+            filter_bytes = wire_table.filter_bytes()
+            registry.gauge(
+                "compact_expected_false_route_rate", stream=stream_name
+            ).set(wire_table.expected_false_route_rate())
+        else:
+            table_bytes = plain_table_memory_bytes(table)
+            filter_bytes = 0
+        registry.gauge("routing_table_bytes", stream=stream_name).set(
+            table_bytes
+        )
+        registry.gauge("routing_filter_bytes", stream=stream_name).set(
+            filter_bytes
+        )
+        return update
 
     def _build_rescale_payloads(
         self, plan: ReconfigurationPlan
@@ -952,16 +1053,21 @@ class Manager:
         participants = list(range(ctx.union_k))
         for stream in ctx.new_streams:
             table = plan.tables.get(stream.name)
+            # one wire representation per stream, shared by the edge
+            # update and every RescaleSpec, so scan-migration owner
+            # decisions agree exactly with data-plane routing even
+            # within the compact false-route budget
+            wire_table = self._wire_table(table)
             destinations = deployment.executors[stream.dst_op][: ctx.new_k]
             for executor in deployment.instances(stream.src_op):
                 payloads[(stream.src_op, executor.instance)].edge_updates[
                     stream.name
-                ] = EdgeUpdate(list(destinations), table)
+                ] = EdgeUpdate(list(destinations), wire_table)
 
             if stream.dst_op not in stateful_ops:
                 continue
             owner_spec = RescaleSpec(
-                table=table,
+                table=wire_table,
                 hash_seed=stream.hash_seed,
                 num_instances=ctx.new_k,
                 participants=list(participants),
@@ -969,7 +1075,7 @@ class Manager:
             for executor in deployment.instances(stream.dst_op):
                 payload = payloads[(stream.dst_op, executor.instance)]
                 payload.rescale = RescaleSpec(
-                    table=table,
+                    table=wire_table,
                     hash_seed=stream.hash_seed,
                     num_instances=ctx.new_k,
                     participants=list(participants),
@@ -1165,9 +1271,11 @@ class Manager:
 
     def _push_tables(self, tables: Dict[str, RoutingTable]) -> None:
         """Force-update every source router out-of-band (abort path:
-        the in-band protocol is presumed wedged)."""
+        the in-band protocol is presumed wedged). Always a full table —
+        never a delta — so it doubles as the base resync for
+        delta-encoded propagation (docs/PROTOCOL.md)."""
         for stream in self._routed_streams:
-            table = tables.get(stream.name)
+            table = self._wire_table(tables.get(stream.name))
             for executor in self.deployment.instances(stream.src_op):
                 executor.table_router(stream.name).update_table(table)
 
@@ -1184,7 +1292,7 @@ class Manager:
         must route like everyone else."""
         deployment = self.deployment
         for stream in self._routed_streams:  # pre-rescale view
-            table = self.current_tables.get(stream.name)
+            table = self._wire_table(self.current_tables.get(stream.name))
             destinations = deployment.executors[stream.dst_op][: ctx.old_k]
             for executor in deployment.instances(stream.src_op):
                 edge = executor.out_edge(stream.name)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.routing_table import RoutingTable
+from repro.core.table_delta import TableDelta
 from repro.engine.executor import BaseExecutor, ControlMessage, SpoutExecutor
 from repro.engine.grouping import TableRouter, stable_hash
 from repro.engine.operators import StatefulBolt
@@ -106,8 +107,10 @@ class PoiReconfiguration:
     listed in Section 3.4: router, send, receive)."""
 
     round_id: int
-    #: out-stream name → new routing table for this POI's routers
-    router_updates: Dict[str, RoutingTable] = field(default_factory=dict)
+    #: out-stream name → new routing table (plain or compact) or a
+    #: :class:`~repro.core.table_delta.TableDelta` against the table
+    #: the router currently holds
+    router_updates: Dict[str, object] = field(default_factory=dict)
     #: peer instance → keys of local state to ship there
     send: Dict[int, List[Hashable]] = field(default_factory=dict)
     #: keys whose state will arrive from peers (buffer their tuples)
@@ -257,8 +260,20 @@ class ReconfigurationAgent:
         payload = self._pending
         executor = self.executor
 
-        for stream_name, table in payload.router_updates.items():
-            executor.table_router(stream_name).update_table(table)
+        for stream_name, update in payload.router_updates.items():
+            router = executor.table_router(stream_name)
+            if isinstance(update, TableDelta):
+                # Delta-encoded propagation (docs/PROTOCOL.md): resolve
+                # against the table this router currently holds. A base
+                # mismatch means the receiver is desynced — count it
+                # and keep the old table; the manager's abort/resync
+                # paths push full snapshots.
+                try:
+                    update = update.apply(router.table)
+                except ReconfigurationError:
+                    self.anomalies["delta_base_mismatch"] += 1
+                    continue
+            router.update_table(update)
 
         for stream_name, update in payload.edge_updates.items():
             edge = executor.out_edge(stream_name)

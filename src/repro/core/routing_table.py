@@ -18,17 +18,52 @@ split set for free.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Dict, Hashable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.engine.grouping import stable_hash
 
 #: split-set wire format: key → ordered tuple of destination instances
 SplitSet = Dict[Hashable, Tuple[int, ...]]
+
+#: seeds separating the fingerprint domains (entries vs split entries)
+_ENTRY_FP_SEED = 0x7A3C9F11
+_SPLIT_FP_SEED = 0x51C6E40D
+
+
+def entry_fingerprint(key: Hashable, owner: int) -> int:
+    """64-bit fingerprint of one ``key → owner`` mapping entry.
+
+    Keys are canonicalized through ``repr`` — the same form
+    :func:`~repro.engine.grouping.stable_hash` routes on — so two
+    tables agree on an entry's fingerprint iff they agree on the entry.
+    """
+    return stable_hash((repr(key), owner), _ENTRY_FP_SEED)
+
+
+def split_fingerprint(key: Hashable, members: Tuple[int, ...]) -> int:
+    """64-bit fingerprint of one split-set entry."""
+    return stable_hash((repr(key), tuple(members)), _SPLIT_FP_SEED)
+
+
+def table_fingerprint(table) -> int:
+    """Order-independent fingerprint of a table, 0 for ``None``/empty.
+
+    ``None`` (a router that never received a table) and the empty table
+    fingerprint identically on purpose: both route every key through
+    the hash fallback, so a delta diffed against "empty" applies to
+    either base (see :class:`repro.core.table_delta.TableDelta`).
+    """
+    if table is None:
+        return 0
+    return table.fingerprint()
 
 
 class RoutingTable:
     """Immutable-by-convention mapping from key to instance index,
     plus an optional heavy-hitter split set."""
 
-    __slots__ = ("_mapping", "_splits")
+    __slots__ = ("_mapping", "_splits", "_fingerprint")
 
     def __init__(
         self,
@@ -39,6 +74,7 @@ class RoutingTable:
         self._splits: SplitSet = {
             key: tuple(members) for key, members in (splits or {}).items()
         }
+        self._fingerprint: Optional[int] = None
 
     @classmethod
     def empty(cls) -> "RoutingTable":
@@ -62,9 +98,9 @@ class RoutingTable:
         return self._splits.get(key)
 
     @property
-    def splits(self) -> SplitSet:
-        """The split set (copy): key → tuple of member instances."""
-        return dict(self._splits)
+    def splits(self) -> Mapping[Hashable, Tuple[int, ...]]:
+        """Read-only view of the split set: key → member instances."""
+        return MappingProxyType(self._splits)
 
     @property
     def num_split_keys(self) -> int:
@@ -91,8 +127,31 @@ class RoutingTable:
     def items(self) -> Iterator[Tuple[Hashable, int]]:
         return iter(self._mapping.items())
 
+    @property
+    def mapping(self) -> Mapping[Hashable, int]:
+        """Read-only view of the key → owner mapping (no copy)."""
+        return MappingProxyType(self._mapping)
+
     def as_dict(self) -> Dict[Hashable, int]:
+        """A mutable copy of the mapping; prefer :attr:`mapping` when a
+        read-only view is enough."""
         return dict(self._mapping)
+
+    def fingerprint(self) -> int:
+        """Order-independent 64-bit XOR fingerprint over entries and
+        split entries, cached after first computation. Two tables with
+        equal fingerprints (and equal logical length) are treated as
+        equal content — the contract :class:`CompactRoutingTable` and
+        :class:`~repro.core.table_delta.TableDelta` base checks rely
+        on. Empty tables fingerprint to 0 (matching ``None``)."""
+        if self._fingerprint is None:
+            acc = 0
+            for key, owner in self._mapping.items():
+                acc ^= entry_fingerprint(key, owner)
+            for key, members in self._splits.items():
+                acc ^= split_fingerprint(key, members)
+            self._fingerprint = acc
+        return self._fingerprint
 
     def max_instance(self) -> Optional[int]:
         """Highest instance index any entry (or split member) routes
@@ -164,9 +223,12 @@ class RoutingTable:
         return consolidations
 
     def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingTable):
+            # NotImplemented (not False) so that foreign table types —
+            # CompactRoutingTable — get the reflected comparison.
+            return NotImplemented
         return (
-            isinstance(other, RoutingTable)
-            and other._mapping == self._mapping
+            other._mapping == self._mapping
             and other._splits == self._splits
         )
 

@@ -11,11 +11,15 @@
 - :mod:`~repro.workloads.flickr` — a stable tag/country workload in
   place of the Flickr 100M dataset (Section 4.4).
 - :mod:`~repro.workloads.zipf` — the shared skewed sampler.
+- :mod:`~repro.workloads.bigkeys` — a million-key population with
+  epoch-churned routing tables for the compact-table /
+  delta-propagation scale sweep (beyond the paper; DESIGN.md §13).
 
 See DESIGN.md Section 2 for why these substitutions preserve the
 paper's experimental conditions.
 """
 
+from repro.workloads.bigkeys import BigKeysConfig, BigKeysWorkload
 from repro.workloads.flickr import FlickrConfig, FlickrWorkload
 from repro.workloads.pairs import PairsConfig, PairsWorkload
 from repro.workloads.skew import SkewConfig, SkewWorkload
@@ -25,6 +29,8 @@ from repro.workloads.zipf import ZipfSampler
 
 __all__ = [
     "ZipfSampler",
+    "BigKeysConfig",
+    "BigKeysWorkload",
     "PairsConfig",
     "PairsWorkload",
     "SkewConfig",

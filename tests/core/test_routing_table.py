@@ -1,5 +1,7 @@
 """Tests for routing tables and their diffing."""
 
+import pytest
+
 from repro.core import RoutingTable
 
 
@@ -90,9 +92,10 @@ def test_split_set_accessors():
     assert list(table.split_keys()) == ["hot"]
     # Non-hybrid consumers see the consolidated single-owner view.
     assert table.lookup("hot") is None
-    # .splits is a copy, not a live view.
-    snapshot = table.splits
-    snapshot["x"] = (1,)
+    # .splits is a read-only view, not a mutable copy.
+    view = table.splits
+    with pytest.raises(TypeError):
+        view["x"] = (1,)
     assert table.num_split_keys == 1
 
 

@@ -1,0 +1,135 @@
+"""Property and unit tests: TableDelta (docs/PROTOCOL.md, DESIGN.md §13).
+
+The round-trip law — ``diff(a, b).apply(a) == b`` — must hold for
+arbitrary tables including split sets, for plain *and* compact bases,
+and regardless of whether the diff chose delta or snapshot encoding.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompactRoutingTable, RoutingTable, TableDelta
+from repro.core.table_delta import (
+    DELTA_HEADER_BYTES,
+    key_wire_bytes,
+    snapshot_wire_bytes,
+)
+from repro.errors import ReconfigurationError
+
+_KEYS = st.integers(min_value=0, max_value=40).map(lambda i: f"k{i}")
+_OWNERS = st.integers(min_value=0, max_value=7)
+_MAPPINGS = st.dictionaries(_KEYS, _OWNERS, max_size=30)
+_SPLITS = st.dictionaries(
+    _KEYS,
+    st.lists(_OWNERS, min_size=2, max_size=4, unique=True).map(tuple),
+    max_size=4,
+)
+_TABLES = st.builds(RoutingTable, _MAPPINGS, _SPLITS)
+
+
+@settings(max_examples=200, deadline=None)
+@given(old=_TABLES, new=_TABLES)
+def test_diff_apply_round_trip(old, new):
+    delta = TableDelta.diff(old, new)
+    assert delta.apply(old) == new
+
+
+@settings(max_examples=100, deadline=None)
+@given(old=_TABLES, new=_TABLES)
+def test_diff_apply_round_trip_compact_base(old, new):
+    compact_old = CompactRoutingTable.from_table(old)
+    delta = TableDelta.diff(old, new)
+    applied = delta.apply(compact_old)
+    assert applied == new
+    # the base is never mutated
+    assert compact_old == old
+
+
+@settings(max_examples=100, deadline=None)
+@given(new=_TABLES)
+def test_diff_from_none_is_full_content(new):
+    delta = TableDelta.diff(None, new)
+    assert delta.apply(None) == new
+    assert delta.apply(RoutingTable.empty()) == new
+
+
+def test_base_mismatch_raises():
+    a = RoutingTable({f"key-{i}": 0 for i in range(10)})
+    b = RoutingTable(dict(a.mapping, **{"key-0": 1}))
+    delta = TableDelta.diff(a, b)
+    assert not delta.is_snapshot
+    same_len_other_content = RoutingTable(
+        dict(a.mapping, **{"key-9": 5})
+    )
+    with pytest.raises(ReconfigurationError):
+        delta.apply(same_len_other_content)
+    with pytest.raises(ReconfigurationError):
+        delta.apply(None)
+
+
+def test_snapshot_fallback_when_delta_is_larger():
+    old = RoutingTable({f"key-{i}": 0 for i in range(100)})
+    new = RoutingTable({f"key-{i}": 1 for i in range(100)})
+    delta = TableDelta.diff(old, new)
+    assert delta.is_snapshot
+    assert delta.snapshot is new
+    # snapshots apply to any base, even a mismatched one
+    assert delta.apply(None) is new
+    assert delta.apply(RoutingTable({"stray": 5})) is new
+    assert delta.wire_bytes() == snapshot_wire_bytes(new)
+
+
+def test_snapshot_table_override_is_carried():
+    # a table shrinking to almost nothing: the delta would be hundreds
+    # of removals, dearer than a snapshot of the small successor
+    old = RoutingTable({f"key-{i}": 0 for i in range(500)})
+    new = RoutingTable({"key-0": 1})
+    compact_new = CompactRoutingTable.from_table(new)
+    delta = TableDelta.diff(old, new, snapshot_table=compact_new)
+    assert delta.is_snapshot
+    assert delta.apply(CompactRoutingTable.from_table(old)) is compact_new
+
+
+def test_small_delta_beats_snapshot():
+    old = RoutingTable({f"key-{i:06d}": i % 4 for i in range(10_000)})
+    new_mapping = dict(old.mapping)
+    new_mapping["key-000001"] = 3
+    new = RoutingTable(new_mapping)
+    delta = TableDelta.diff(old, new)
+    assert not delta.is_snapshot
+    assert delta.num_changes == 1
+    assert delta.wire_bytes() < snapshot_wire_bytes(new) / 100
+    assert delta.apply(old) == new
+
+
+def test_split_only_changes_travel_as_deltas():
+    mapping = {f"key-{i}": i % 3 for i in range(1000)}
+    old = RoutingTable(mapping, {"hot": (0, 1)})
+    new = RoutingTable(mapping, {"hot": (0, 1, 2), "warm": (1, 2)})
+    delta = TableDelta.diff(old, new)
+    assert not delta.is_snapshot
+    assert delta.set_entries == {}
+    assert delta.set_splits == {"hot": (0, 1, 2), "warm": (1, 2)}
+    assert delta.apply(old) == new
+    gone = RoutingTable(mapping)
+    back = TableDelta.diff(new, gone)
+    assert back.removed_splits and back.apply(new) == gone
+
+
+def test_wire_bytes_accounting():
+    # constructed directly: one upsert (aa) and one removal (bb); keys
+    # cost their repr bytes, owners a u16, removals just the key
+    delta = TableDelta(
+        base_fingerprint=0,
+        base_len=2,
+        set_entries={"aa": 1},
+        removed_keys=("bb",),
+    )
+    expected = (
+        DELTA_HEADER_BYTES
+        + (2 + key_wire_bytes("aa") + 2)
+        + (2 + key_wire_bytes("bb"))
+    )
+    assert delta.wire_bytes() == expected
+    assert key_wire_bytes("aa") == len(repr("aa").encode())

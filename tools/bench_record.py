@@ -11,9 +11,11 @@ wall-clock performance over time:
   leave a trajectory instead of overwriting each other.
 
 All throughput metrics (``*_per_s``) are higher-is-better wall-clock
-rates; ``compare`` only judges those, with a configurable tolerance,
-because absolute numbers shift between machines while *ratios* within
-one run of the suite are stable.
+rates; ``*_bytes_per_key`` metrics are lower-is-better memory-model
+numbers from the routing-table scale sweep. ``compare`` judges both,
+with a configurable tolerance — rates because ratios within one run of
+the suite are machine-stable, bytes/key because the byte model is
+machine-independent entirely. Other metrics are informational.
 
 Used by ``benchmarks/bench_engine.py`` (which can also be run as a
 CLI) and by the ``engine-bench`` CI job.
@@ -107,21 +109,33 @@ def compare(
     metrics: Dict[str, float],
     tolerance: float = 0.20,
 ) -> List[str]:
-    """Regression messages for every rate metric that dropped more than
-    ``tolerance`` below the baseline. Empty list means no regression."""
+    """Regression messages for every rate metric that dropped — and
+    every bytes/key metric that grew — more than ``tolerance`` vs the
+    baseline. Empty list means no regression."""
     regressions = []
     for key, base in sorted(baseline_metrics.items()):
-        if not key.endswith("_per_s"):
-            continue
-        now = metrics.get(key)
-        if now is None:
-            regressions.append(f"{key}: missing from current run")
-            continue
-        if base > 0 and now < base * (1.0 - tolerance):
-            regressions.append(
-                f"{key}: {now:,.0f}/s is {now / base:.2f}x of baseline "
-                f"{base:,.0f}/s (allowed >= {1.0 - tolerance:.2f}x)"
-            )
+        if key.endswith("_per_s"):
+            now = metrics.get(key)
+            if now is None:
+                regressions.append(f"{key}: missing from current run")
+                continue
+            if base > 0 and now < base * (1.0 - tolerance):
+                regressions.append(
+                    f"{key}: {now:,.0f}/s is {now / base:.2f}x of "
+                    f"baseline {base:,.0f}/s "
+                    f"(allowed >= {1.0 - tolerance:.2f}x)"
+                )
+        elif key.endswith("_bytes_per_key"):
+            now = metrics.get(key)
+            if now is None:
+                regressions.append(f"{key}: missing from current run")
+                continue
+            if base > 0 and now > base * (1.0 + tolerance):
+                regressions.append(
+                    f"{key}: {now:,.1f} B is {now / base:.2f}x of "
+                    f"baseline {base:,.1f} B "
+                    f"(allowed <= {1.0 + tolerance:.2f}x)"
+                )
     return regressions
 
 

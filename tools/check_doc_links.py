@@ -13,8 +13,12 @@ references and fails when any points at nothing:
 3. section cross-references of the form ``DESIGN.md §N`` — the target
    file must contain a ``## N.`` heading.
 
-Module references like ``repro.observability`` are resolved against
-``src/``. Exit status 0 = clean, 1 = dead links (each printed as
+Module references like ``repro.observability`` (optionally dotted
+down to a class or attribute, e.g. ``repro.core.TableDelta``) are
+verified by *importing* them: the module must import cleanly from
+``src/`` and the trailing attribute must exist — a doc naming a
+renamed class fails the gate, not just one naming a deleted file.
+Exit status 0 = clean, 1 = dead links (each printed as
 ``file:line: message``).
 
 Run:  python tools/check_doc_links.py  [--require-results]
@@ -23,6 +27,7 @@ Run:  python tools/check_doc_links.py  [--require-results]
 from __future__ import annotations
 
 import argparse
+import importlib
 import os
 import re
 import sys
@@ -35,6 +40,7 @@ DOC_FILES = [
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "CHANGES.md",
+    "docs/PROTOCOL.md",
 ]
 
 MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)[^)]*\)")
@@ -46,18 +52,34 @@ SECTION_REF = re.compile(r"(\w+\.md) §(\d+)")
 MODULE_REF = re.compile(r"`(repro(?:\.\w+)+)`")
 
 
-def _exists(rel: str) -> bool:
-    return os.path.exists(os.path.join(REPO, rel))
+def _exists(rel: str, base: str = "") -> bool:
+    return os.path.exists(os.path.join(REPO, base, rel))
 
 
 def _module_exists(dotted: str) -> bool:
-    # Tolerate trailing class/attribute parts (capitalized, e.g.
-    # repro.analysis.telemetry.TelemetryLog): strip them first.
+    """Importlib-verify a ``repro.*`` reference: split off trailing
+    capitalized attribute parts (e.g. the class in
+    ``repro.analysis.telemetry.TelemetryLog``), import the module
+    part, then require each attribute part to resolve."""
+    src = os.path.join(REPO, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
     parts = dotted.split(".")
-    while len(parts) > 1 and parts[-1][:1].isupper():
-        parts.pop()
-    base = os.path.join(REPO, "src", *parts)
-    return os.path.isdir(base) or os.path.isfile(base + ".py")
+    # Longest importable prefix, remainder resolved as attributes —
+    # handles classes (repro.core.TableDelta) and functions
+    # (repro.core.routing_table.entry_fingerprint) alike.
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        for attr in parts[cut:]:
+            try:
+                obj = getattr(obj, attr)
+            except AttributeError:
+                return False
+        return True
+    return False
 
 
 def _section_exists(md_file: str, number: str) -> bool:
@@ -72,13 +94,16 @@ def _section_exists(md_file: str, number: str) -> bool:
 
 def check_file(rel: str, require_results: bool) -> list:
     problems = []
+    # Markdown links are relative to the doc's own directory; backtick
+    # repo paths and module refs are repo-root anchored everywhere.
+    doc_dir = os.path.dirname(rel)
     with open(os.path.join(REPO, rel)) as handle:
         for lineno, line in enumerate(handle, 1):
             for match in MD_LINK.finditer(line):
                 target = match.group(1)
                 if target.startswith(("http://", "https://", "mailto:")):
                     continue
-                if not _exists(target):
+                if not _exists(target, doc_dir):
                     problems.append(
                         f"{rel}:{lineno}: dead link target {target!r}"
                     )

@@ -3,7 +3,10 @@
 import os
 
 #: Where regenerated figure tables are written (also printed with -s).
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+#: abspath-normalized so saved paths never embed ".." segments.
+RESULTS_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "results")
+)
 
 
 def save_table(name: str, text: str) -> None:

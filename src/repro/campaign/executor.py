@@ -1,0 +1,242 @@
+"""The parallel cell executor: worker subprocesses, timeouts, crashes.
+
+Each planned cell becomes one ``python -m repro.campaign.worker``
+subprocess. The executor:
+
+- exports ``PYTHONHASHSEED=<cell seed>`` into the worker's environment
+  (and makes sure ``src/`` is importable there), so a cell's RNG
+  environment is fully determined by its spec;
+- enforces the per-cell wall-clock timeout: a stuck cell is killed and
+  recorded as ``status="timeout"`` — the *cell* fails, the campaign
+  keeps running;
+- captures crashes: a worker that exits without writing its result
+  file becomes ``status="crash"`` with the log tail attached;
+- tees each worker's stdout/stderr into ``cells/<id>.log`` next to the
+  result JSON, so a failing cell's full output is one file away.
+
+Results come back in plan order regardless of completion order, so
+reports, JSONL and baselines line up run after run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import repro
+from repro.campaign.planner import CellSpec
+from repro.campaign.worker import EXIT_VIOLATION
+
+#: terminal statuses a cell can end in
+STATUSES = ("ok", "violation", "timeout", "crash")
+
+#: log lines kept as the ``error`` excerpt of a crashed cell
+LOG_TAIL_LINES = 25
+
+
+@dataclass
+class CellResult:
+    """One executed cell, as the report sees it."""
+
+    id: str
+    runner: str
+    seed: int
+    status: str
+    params: Dict = field(default_factory=dict)
+    assignment: Dict = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    fingerprint: Optional[str] = None
+    violations: List[dict] = field(default_factory=list)
+    bundle_path: Optional[str] = None
+    duration_s: float = 0.0
+    hash_seed: Optional[str] = None
+    log_path: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "runner": self.runner,
+            "seed": self.seed,
+            "status": self.status,
+            "params": dict(self.params),
+            "assignment": dict(self.assignment),
+            "metrics": dict(self.metrics),
+            "fingerprint": self.fingerprint,
+            "violations": list(self.violations),
+            "bundle_path": self.bundle_path,
+            "duration_s": self.duration_s,
+            "hash_seed": self.hash_seed,
+            "log_path": self.log_path,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(
+            **{
+                key: data.get(key)
+                for key in (
+                    "id",
+                    "runner",
+                    "seed",
+                    "status",
+                    "fingerprint",
+                    "bundle_path",
+                    "hash_seed",
+                    "log_path",
+                    "error",
+                )
+            },
+            params=dict(data.get("params", {})),
+            assignment=dict(data.get("assignment", {})),
+            metrics=dict(data.get("metrics", {})),
+            violations=list(data.get("violations", [])),
+            duration_s=data.get("duration_s", 0.0),
+        )
+
+
+def worker_env(seed: int) -> Dict[str, str]:
+    """The subprocess environment for one cell: the cell seed exported
+    as PYTHONHASHSEED and the live ``repro`` package's src/ prepended
+    to PYTHONPATH (the worker must import the same tree)."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    parts = [src] + [
+        p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+    ]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
+def run_one(
+    spec: CellSpec,
+    cells_dir: str,
+    bundle_dir: str,
+    timeout_s: float,
+) -> CellResult:
+    """Run one cell in a worker subprocess; never raises on cell
+    failure — timeouts and crashes come back as statuses."""
+    os.makedirs(cells_dir, exist_ok=True)
+    safe = _safe(spec.id)
+    spec_path = os.path.join(cells_dir, f"{safe}.spec.json")
+    result_path = os.path.join(cells_dir, f"{safe}.json")
+    log_path = os.path.join(cells_dir, f"{safe}.log")
+    if os.path.exists(result_path):
+        os.remove(result_path)  # never report a stale result
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"cell": spec.to_dict(), "bundle_dir": bundle_dir},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro.campaign.worker",
+        spec_path,
+        result_path,
+    ]
+    started = time.time()
+    timed_out = False
+    with open(log_path, "w", encoding="utf-8") as log:
+        try:
+            proc = subprocess.run(
+                command,
+                env=worker_env(spec.seed),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                timeout=timeout_s,
+            )
+            returncode = proc.returncode
+        except subprocess.TimeoutExpired:
+            timed_out = True
+            returncode = None
+    elapsed = round(time.time() - started, 3)
+
+    base = CellResult(
+        id=spec.id,
+        runner=spec.runner,
+        seed=spec.seed,
+        status="crash",
+        params=spec.params,
+        assignment=spec.assignment,
+        duration_s=elapsed,
+        log_path=log_path,
+    )
+    if timed_out:
+        base.status = "timeout"
+        base.error = (
+            f"cell exceeded its {timeout_s:g}s timeout and was killed"
+        )
+        return base
+    if os.path.exists(result_path) and returncode in (0, EXIT_VIOLATION):
+        with open(result_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        result = CellResult.from_dict(data)
+        result.log_path = log_path
+        return result
+    base.error = (
+        f"worker exited with code {returncode} without a result; "
+        f"log tail:\n{_tail(log_path)}"
+    )
+    return base
+
+
+def run_cells(
+    specs: List[CellSpec],
+    out_dir: str,
+    timeout_s: float = 120.0,
+    workers: int = 0,
+    on_done: Optional[Callable[[CellResult, int, int], None]] = None,
+) -> List[CellResult]:
+    """Run every cell in a bounded pool; results in plan order.
+
+    ``on_done(result, finished, total)`` fires as each cell completes
+    (from worker threads, serialized by an internal lock).
+    """
+    cells_dir = os.path.join(out_dir, "cells")
+    bundle_dir = os.path.join(out_dir, "bundles")
+    if workers <= 0:
+        workers = min(len(specs), os.cpu_count() or 2) or 1
+    lock = threading.Lock()
+    finished = [0]
+
+    def _run(spec: CellSpec) -> CellResult:
+        result = run_one(spec, cells_dir, bundle_dir, timeout_s)
+        if on_done is not None:
+            with lock:
+                finished[0] += 1
+                on_done(result, finished[0], len(specs))
+        return result
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run, specs))
+
+
+def _safe(cell_id: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "._+-" else "_" for ch in cell_id
+    )
+
+
+def _tail(log_path: str, lines: int = LOG_TAIL_LINES) -> str:
+    try:
+        with open(log_path, "r", encoding="utf-8", errors="replace") as f:
+            return "".join(f.readlines()[-lines:]).rstrip()
+    except OSError:
+        return "<no log captured>"

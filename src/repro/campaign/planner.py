@@ -1,0 +1,119 @@
+"""Matrix expansion: a campaign config becomes an ordered cell list.
+
+Cells are the cross product of the matrix axes × the seed list. Every
+cell gets a stable, human-readable id built from its axis assignment
+(``axis=value`` pairs in sorted axis order, comma-joined, plus
+``seed=N``), so ids survive re-ordering of the campaign file, appear
+verbatim in reports and baselines, and can be re-run individually with
+``python -m repro.campaign run <campaign> --cell <id>``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.campaign.config import CampaignConfig, CampaignError
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._+-]")
+
+
+def _fmt(value: Any) -> str:
+    """One axis value, rendered stably for a cell id."""
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float):
+        text = f"{value:g}"
+    else:
+        text = str(value)
+    return _UNSAFE.sub("-", text)
+
+
+def cell_id(assignment: Dict[str, Any], seed: int) -> str:
+    """The stable id for one axis assignment + seed."""
+    parts = [
+        f"{axis}={_fmt(value)}" for axis, value in sorted(assignment.items())
+    ]
+    parts.append(f"seed={seed}")
+    return ",".join(parts)
+
+
+@dataclass
+class CellSpec:
+    """One planned cell: what to run and with which parameters."""
+
+    id: str
+    runner: str
+    #: merged parameters: campaign defaults + this cell's axis values
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: the axis values alone (what varies; subset of ``params``)
+    assignment: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "runner": self.runner,
+            "params": dict(self.params),
+            "assignment": dict(self.assignment),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellSpec":
+        return cls(
+            id=data["id"],
+            runner=data["runner"],
+            params=dict(data.get("params", {})),
+            assignment=dict(data.get("assignment", {})),
+            seed=data.get("seed", 0),
+        )
+
+
+def plan(config: CampaignConfig) -> List[CellSpec]:
+    """Expand the campaign matrix into its ordered cell list.
+
+    Order is deterministic: axes sorted by name, each axis's values in
+    file order, seeds last — so the report rows, the JSONL and the
+    baseline all line up run after run.
+    """
+    axes = sorted(config.matrix)
+    cells: List[CellSpec] = []
+    for combo in itertools.product(*(config.matrix[axis] for axis in axes)):
+        assignment = dict(zip(axes, combo))
+        for seed in config.seeds:
+            cells.append(
+                CellSpec(
+                    id=cell_id(assignment, seed),
+                    runner=config.runner,
+                    params={**config.defaults, **assignment},
+                    assignment=assignment,
+                    seed=seed,
+                )
+            )
+    ids = [cell.id for cell in cells]
+    if len(set(ids)) != len(ids):  # two axis values rendered identically
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise CampaignError(
+            f"{config.source}: cell ids collide after formatting: {dupes}"
+        )
+    return cells
+
+
+def find_cell(cells: List[CellSpec], wanted: str) -> CellSpec:
+    """The cell with id ``wanted``, or a CampaignError naming near
+    misses (axis subsets are a common typo)."""
+    for cell in cells:
+        if cell.id == wanted:
+            return cell
+    wanted_parts = set(wanted.split(","))
+    scored = sorted(
+        cells,
+        key=lambda cell: -len(wanted_parts & set(cell.id.split(","))),
+    )
+    hints = "\n  ".join(cell.id for cell in scored[:3])
+    raise CampaignError(
+        f"no cell with id {wanted!r}; closest planned cells:\n  {hints}"
+    )

@@ -1,0 +1,241 @@
+"""What one campaign cell runs.
+
+Three runners are registered:
+
+``episode``
+    A fuzz-grade deployment episode (``repro.testing``): PairsWorkload
+    topology, periodic reconfiguration, the full invariant suite armed,
+    simulator event fingerprint enabled. Boolean axes toggle features —
+    ``hybrid`` (hot-key splitting), ``rescale`` (scripted mid-stream
+    rescales), ``faults`` (a conservation-safe chaos plan),
+    ``delta_propagation`` and ``compact_tables`` (wire-format flags) —
+    while structured sub-configs (the fault plan, the rescale schedule,
+    the hybrid knobs) are drawn deterministically from the cell seed,
+    so the same cell id always runs the identical episode and must
+    reproduce the identical fingerprint.
+
+``fig13``
+    One (bandwidth, padding) point of the Figure 13 locality sweep,
+    with and without reconfiguration, ported from
+    ``benchmarks/bench_fig13.py``.
+
+``skew``
+    One (exponent, flash_share, policy) point of the PR 6 skew
+    experiment, ported from the ``skew`` figure.
+
+Every runner returns a :class:`CellOutcome` whose ``metrics`` follow
+the ``tools/bench_record.py`` axis convention (``*_per_s`` higher is
+better; unsuffixed metrics get their direction from the campaign's
+``axes:`` mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: EpisodeConfig scalar fields a campaign may set directly (defaults
+#: or matrix axes); feature toggles and seeds are handled separately.
+EPISODE_PARAMS = (
+    "parallelism",
+    "keys",
+    "exponent",
+    "correlation",
+    "tuples_per_instance",
+    "period_s",
+    "round_timeout_s",
+    "rpc_latency_s",
+    "imbalance",
+    "until_s",
+)
+
+#: boolean feature toggles of the episode runner
+EPISODE_FLAGS = (
+    "hybrid",
+    "rescale",
+    "faults",
+    "delta_propagation",
+    "compact_tables",
+)
+
+#: non-boolean episode extras: ``inject`` arms a deliberate bug
+#: (harness self-test, mirrors ``python -m repro.testing.fuzz --inject``)
+EPISODE_EXTRAS = ("inject",)
+
+
+@dataclass
+class CellOutcome:
+    """What one cell produced (worker-side; JSON-serializable)."""
+
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: simulator event-sequence fingerprint (episode cells), hex string
+    fingerprint: Optional[str] = None
+    violations: List[dict] = field(default_factory=list)
+    #: repro bundle payload for a failing episode cell (written next to
+    #: the report by the worker so the failure replays anywhere)
+    bundle: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _unknown(params: Dict[str, Any], allowed: set, runner: str) -> None:
+    extra = sorted(set(params) - allowed)
+    if extra:
+        raise ValueError(
+            f"{runner} runner got unknown parameter(s) "
+            f"{', '.join(map(repr, extra))}; allowed: {sorted(allowed)}"
+        )
+
+
+def episode_config(params: Dict[str, Any], seed: int):
+    """Derive the deterministic EpisodeConfig for one cell.
+
+    Unlike the fuzz driver's ``generate_config`` (which randomizes the
+    episode *shape*), a campaign cell is explicit: scalars come from
+    the campaign file, and only the structured sub-plans — fault plan,
+    rescale schedule, hybrid knobs — are drawn, each from its own
+    seed-rooted RNG stream so cell id → episode is a pure function.
+    """
+    from repro.faults import fault_plan_to_dict, generate_fault_plan
+    from repro.testing.episode import EpisodeConfig
+    from repro.testing.rng import RngTree
+
+    _unknown(
+        params,
+        set(EPISODE_PARAMS) | set(EPISODE_FLAGS) | set(EPISODE_EXTRAS),
+        "episode",
+    )
+    config = EpisodeConfig(seed=seed)
+    for name in EPISODE_PARAMS:
+        if name in params:
+            setattr(config, name, params[name])
+    config.delta_propagation = bool(params.get("delta_propagation", True))
+    config.compact_tables = bool(params.get("compact_tables", False))
+    config.inject = params.get("inject")
+
+    tree = RngTree(seed)
+    if params.get("faults", False):
+        plan = generate_fault_plan(
+            tree.rng("campaign", "faults"),
+            ops=("A", "B"),
+            parallelism=config.parallelism,
+            servers=config.parallelism,
+            max_rules=4,
+            allow_crashes=False,
+            horizon_s=config.until_s,
+        )
+        config.fault_plan = fault_plan_to_dict(plan)
+    if params.get("rescale", False):
+        rng = tree.rng("campaign", "rescale")
+        actions = []
+        for _ in range(rng.choice((1, 1, 2))):
+            at_s = rng.uniform(0.05, config.until_s * 0.8)
+            target = rng.choice((1, 2, 3, 4, 5))
+            actions.append([round(at_s, 6), target])
+        config.rescales = sorted(actions)
+    if params.get("hybrid", False):
+        rng = tree.rng("campaign", "hybrid")
+        config.hybrid = [
+            round(rng.uniform(0.3, 0.8), 6),  # hot_fraction
+            rng.choice((2, 2, 3)),  # split_width
+            rng.choice((2, 4, 8)),  # max_split_keys
+        ]
+    return config
+
+
+def run_episode_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    from repro.testing.bundle import bundle_data
+    from repro.testing.episode import run_episode
+
+    config = episode_config(params, seed)
+    result = run_episode(config)
+    sim_s = result.sim_now_s or 1.0
+    metrics = {
+        "sim_tuples_per_s": result.tuples_processed / sim_s,
+        "rounds_total": float(result.rounds),
+        "rounds_completed": float(result.rounds_completed),
+        "rounds_aborted": float(result.rounds_aborted),
+        "faults_injected": float(result.faults_injected),
+        "violations": float(len(result.violations)),
+    }
+    return CellOutcome(
+        metrics=metrics,
+        fingerprint=f"{result.fingerprint:#010x}",
+        violations=[v.to_dict() for v in result.violations],
+        bundle=bundle_data(result) if result.violations else None,
+    )
+
+
+def run_fig13_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    from repro.analysis.experiments import fig13
+
+    _unknown(
+        params,
+        {"bandwidth_gbps", "padding", "parallelism", "quick"},
+        "fig13",
+    )
+    rows = fig13(
+        bandwidths=[float(params["bandwidth_gbps"])],
+        paddings=[int(params["padding"])],
+        parallelism=int(params.get("parallelism", 6)),
+        quick=bool(params.get("quick", True)),
+    )
+    with_reconf = next(r for r in rows if r["reconfigure"])
+    without = next(r for r in rows if not r["reconfigure"])
+    after_with = with_reconf["mean_after_first_reconf"]
+    after_without = without["mean_after_first_reconf"]
+    return CellOutcome(
+        metrics={
+            "after_with_reconf_per_s": after_with,
+            "after_without_reconf_per_s": after_without,
+            "before_with_reconf_per_s": with_reconf[
+                "mean_before_first_reconf"
+            ],
+            "reconf_gain": after_with / after_without if after_without else 0.0,
+            "rounds_completed": float(with_reconf["rounds"]),
+        }
+    )
+
+
+def run_skew_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    from repro.analysis.experiments import skew
+
+    _unknown(
+        params,
+        {"exponent", "flash_share", "policy", "parallelism"},
+        "skew",
+    )
+    rows = skew(
+        exponents=[float(params["exponent"])],
+        flash_shares=[float(params["flash_share"])],
+        policies=[str(params["policy"])],
+        parallelism=int(params.get("parallelism", 4)),
+    )
+    (row,) = rows
+    return CellOutcome(
+        metrics={
+            "tuples_per_s": row["throughput"],
+            "locality": row["locality"],
+            "load_balance": row["load_balance"],
+        }
+    )
+
+
+RUNNERS: Dict[str, Callable[[Dict[str, Any], int], CellOutcome]] = {
+    "episode": run_episode_cell,
+    "fig13": run_fig13_cell,
+    "skew": run_skew_cell,
+}
+
+
+def run_cell(runner: str, params: Dict[str, Any], seed: int) -> CellOutcome:
+    """Dispatch one cell to its registered runner."""
+    try:
+        fn = RUNNERS[runner]
+    except KeyError:
+        raise ValueError(
+            f"unknown runner {runner!r}; one of {sorted(RUNNERS)}"
+        ) from None
+    return fn(params, seed)

@@ -1,0 +1,110 @@
+"""The campaign worker: runs exactly one cell in its own process.
+
+Invoked by the executor as::
+
+    python -m repro.campaign.worker <spec.json> <result.json>
+
+``spec.json`` holds the :class:`~repro.campaign.planner.CellSpec`
+(plus the bundle directory for failing episode cells); the worker runs
+the cell's runner and writes the cell result as JSON to
+``result.json`` (atomically: tmp file + rename, so the executor never
+reads a half-written result from a worker killed at timeout).
+
+Seeding contract (the reproducibility half of the campaign design):
+the executor exports ``PYTHONHASHSEED=<cell seed>`` before spawning
+the worker, and every in-simulation random decision flows from the
+same seed through :class:`~repro.testing.rng.RngTree`. The worker
+records the hash seed it actually observed so the report can prove the
+environment matched; a missing/mismatched hash seed is recorded, not
+fatal (the RngTree discipline makes fingerprints hash-seed-independent
+— that independence is exactly what the CI single-cell re-run checks).
+
+Exit codes: 0 = cell ok; 3 = cell ran but violated invariants (the
+result file has the details); anything else = crash (the executor
+captures the log tail).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+
+#: exit code for "ran to completion but the cell failed its checks"
+EXIT_VIOLATION = 3
+
+
+def run_worker(spec_path: str, result_path: str) -> int:
+    from repro.campaign.planner import CellSpec
+    from repro.campaign.runners import run_cell
+
+    with open(spec_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    spec = CellSpec.from_dict(payload["cell"])
+    bundle_dir = payload.get("bundle_dir")
+
+    started = time.time()
+    outcome = run_cell(spec.runner, spec.params, spec.seed)
+
+    bundle_path = None
+    if outcome.bundle is not None and bundle_dir:
+        os.makedirs(bundle_dir, exist_ok=True)
+        bundle_path = os.path.join(
+            bundle_dir, f"bundle-{_safe(spec.id)}.json"
+        )
+        with open(bundle_path, "w", encoding="utf-8") as handle:
+            json.dump(outcome.bundle, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    result = {
+        "id": spec.id,
+        "runner": spec.runner,
+        "seed": spec.seed,
+        "params": spec.params,
+        "assignment": spec.assignment,
+        "status": "ok" if outcome.ok else "violation",
+        "metrics": outcome.metrics,
+        "fingerprint": outcome.fingerprint,
+        "violations": outcome.violations,
+        "bundle_path": bundle_path,
+        "duration_s": round(time.time() - started, 3),
+        "hash_seed": os.environ.get("PYTHONHASHSEED"),
+    }
+    _write_atomic(result_path, result)
+    return 0 if outcome.ok else EXIT_VIOLATION
+
+
+def _safe(cell_id: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch in "._+-" else "_" for ch in cell_id
+    )
+
+
+def _write_atomic(path: str, data: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.campaign.worker <spec.json> "
+            "<result.json>",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return run_worker(argv[0], argv[1])
+    except Exception:
+        traceback.print_exc()
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,13 +98,31 @@ def check_deployment(deployment) -> ValidationReport:
                     continue
                 num_destinations = len(edge.destinations)
                 if table:
-                    for key, instance in table.items():
-                        if not 0 <= instance < num_destinations:
+                    try:
+                        entries = list(table.items())
+                    except TypeError:
+                        # Compact tables store fingerprints, not keys —
+                        # enumeration is impossible by design, but the
+                        # owner range is still checkable exactly.
+                        entries = None
+                    if entries is None:
+                        top = table.max_instance()
+                        if top is not None and not (
+                            0 <= top < num_destinations
+                        ):
                             report.fail(
                                 f"{executor.name} stream "
-                                f"{edge.stream_name}: key {key!r} -> "
-                                f"instance {instance} out of range"
+                                f"{edge.stream_name}: compact table "
+                                f"max instance {top} out of range"
                             )
+                    else:
+                        for key, instance in entries:
+                            if not 0 <= instance < num_destinations:
+                                report.fail(
+                                    f"{executor.name} stream "
+                                    f"{edge.stream_name}: key {key!r} -> "
+                                    f"instance {instance} out of range"
+                                )
                 for key, members in (
                     getattr(table, "splits", None) or {}
                 ).items():

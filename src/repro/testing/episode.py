@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.compact_table import CompactTableConfig
 from repro.core.manager import HybridConfig, Manager, ManagerConfig
 from repro.engine.cluster import Cluster
 from repro.engine.runner import deploy
@@ -74,6 +75,12 @@ class EpisodeConfig:
     #: manager splits heavy hitters with these [hot_fraction,
     #: split_width, max_split_keys] settings; empty list = disabled
     hybrid: List = field(default_factory=list)
+    #: ship PROPAGATE as TableDelta diffs against the receivers' base
+    #: (docs/PROTOCOL.md); mirrors the ManagerConfig default
+    delta_propagation: bool = True
+    #: compact (fingerprint + front-filter) data-plane tables at the
+    #: wire boundary, with the default CompactTableConfig knobs
+    compact_tables: bool = False
     #: deliberate bug to arm (harness self-test); see INJECTIONS
     inject: Optional[str] = None
 
@@ -98,6 +105,10 @@ class EpisodeResult:
     rounds_aborted: int
     faults_injected: int
     telemetry_records: int
+    #: simulated clock at the end of the drain (for derived rates)
+    sim_now_s: float = 0.0
+    #: total tuples the expected-count oracle says were processed
+    tuples_processed: int = 0
     #: the in-memory telemetry sink, for trace-level comparisons
     sink: MemorySink = field(repr=False, default=None)
 
@@ -199,6 +210,10 @@ def run_episode(config: EpisodeConfig) -> EpisodeResult:
             round_timeout_s=config.round_timeout_s,
             seed=config.seed,
             hybrid=hybrid,
+            delta_propagation=config.delta_propagation,
+            compact_tables=(
+                CompactTableConfig() if config.compact_tables else None
+            ),
         ),
     )
     sink = MemorySink()
@@ -240,6 +255,10 @@ def run_episode(config: EpisodeConfig) -> EpisodeResult:
         rounds_aborted=len(manager.aborted_rounds),
         faults_injected=injector.injected if injector is not None else 0,
         telemetry_records=len(sink.records),
+        sim_now_s=sim.now,
+        tuples_processed=(
+            sum(a_counts.values()) + sum(b_counts.values())
+        ),
         sink=sink,
     )
 

@@ -1,0 +1,119 @@
+"""The worker subprocess path: seeds, timeouts, crashes, bundles.
+
+These tests go through the real ``python -m repro.campaign.worker``
+subprocess, so they pin the satellite contract end to end: the cell
+seed reaches the worker as PYTHONHASHSEED, a stuck cell times out
+without failing the campaign, a crashed worker yields a log tail, and
+a violating cell records a replayable bundle path.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign.executor import (
+    CellResult,
+    run_cells,
+    run_one,
+    worker_env,
+)
+from repro.campaign.planner import CellSpec
+
+#: small episode: finishes in well under a second per cell
+QUICK = {"parallelism": 2, "keys": 8, "tuples_per_instance": 300}
+
+
+def _spec(cell_id="quick,seed=7", seed=7, runner="episode", **params):
+    merged = {**QUICK, **params}
+    return CellSpec(
+        id=cell_id, runner=runner, params=merged,
+        assignment={}, seed=seed,
+    )
+
+
+def test_worker_env_exports_hash_seed_and_src():
+    env = worker_env(42)
+    assert env["PYTHONHASHSEED"] == "42"
+    first = env["PYTHONPATH"].split(os.pathsep)[0]
+    assert os.path.isdir(os.path.join(first, "repro"))
+
+
+def test_ok_cell_records_seed_metrics_and_fingerprint(tmp_path):
+    result = run_one(
+        _spec(), str(tmp_path / "cells"), str(tmp_path / "bundles"),
+        timeout_s=60,
+    )
+    assert result.status == "ok"
+    # satellite 4: PYTHONHASHSEED propagated into the subprocess
+    assert result.hash_seed == "7"
+    assert result.fingerprint and result.fingerprint.startswith("0x")
+    assert result.metrics["violations"] == 0.0
+    assert result.metrics["sim_tuples_per_s"] > 0
+    assert os.path.isfile(result.log_path)
+
+
+def test_timeout_kills_the_cell_not_the_campaign(tmp_path):
+    specs = [
+        _spec("slow,seed=7", tuples_per_instance=200_000),
+        _spec("fast,seed=7"),
+    ]
+    results = run_cells(
+        specs, str(tmp_path), timeout_s=0.8, workers=1,
+    )
+    slow, fast = results
+    assert slow.status == "timeout"
+    assert "timeout" in slow.error and "killed" in slow.error
+    assert slow.metrics == {}
+    # the campaign carried on: the next cell still ran to completion
+    assert fast.status == "ok"
+
+
+def test_crashed_worker_reports_log_tail(tmp_path):
+    result = run_one(
+        _spec(runner="no-such-runner"),
+        str(tmp_path / "cells"), str(tmp_path / "bundles"),
+        timeout_s=60,
+    )
+    assert result.status == "crash"
+    assert "without a result" in result.error
+    assert "no-such-runner" in result.error  # traceback tail captured
+
+
+def test_violation_writes_replayable_bundle(tmp_path):
+    result = run_one(
+        _spec(inject="double_migrate"),
+        str(tmp_path / "cells"), str(tmp_path / "bundles"),
+        timeout_s=60,
+    )
+    assert result.status == "violation"
+    assert result.violations, "armed bug must be caught"
+    assert result.bundle_path and os.path.isfile(result.bundle_path)
+    assert result.bundle_path.startswith(str(tmp_path / "bundles"))
+    assert result.metrics["violations"] >= 1.0
+
+
+def test_results_come_back_in_plan_order(tmp_path):
+    specs = [_spec(f"i={i},seed={i}", seed=i) for i in range(3)]
+    results = run_cells(specs, str(tmp_path), timeout_s=60, workers=3)
+    assert [r.id for r in results] == [s.id for s in specs]
+    assert [r.hash_seed for r in results] == ["0", "1", "2"]
+
+
+def test_cell_result_round_trips_through_dict():
+    result = CellResult(
+        id="a=1,seed=0", runner="episode", seed=0, status="ok",
+        metrics={"x_per_s": 1.0}, fingerprint="0x0000abcd",
+    )
+    assert CellResult.from_dict(result.to_dict()) == result
+
+
+def test_same_seed_reruns_reproduce_the_fingerprint(tmp_path):
+    first = run_one(
+        _spec(), str(tmp_path / "a"), str(tmp_path / "ba"), timeout_s=60,
+    )
+    second = run_one(
+        _spec(), str(tmp_path / "b"), str(tmp_path / "bb"), timeout_s=60,
+    )
+    assert first.status == second.status == "ok"
+    assert first.fingerprint == second.fingerprint
+    assert first.metrics == second.metrics

@@ -1,0 +1,79 @@
+"""Cross-flag interaction smoke tests (satellite of the campaign PR).
+
+One quick matrix cell per pairwise combination of the four feature
+flags — hybrid routing, mid-stream rescaling, delta propagation and
+compact tables — asserting that the full invariant suite passes and
+that same-seed fingerprints are stable per cell. These run the cell
+in-process (no worker subprocess) so the whole grid stays fast; the
+subprocess path is covered by test_executor.py.
+
+``delta_propagation`` is on by default, so its "active" value here is
+*off* — the interesting interaction is running other features without
+delta-encoded table propagation.
+"""
+
+import itertools
+
+import pytest
+
+from repro.campaign.runners import episode_config, run_episode_cell
+
+#: flag -> the value that activates its interesting behavior
+ACTIVE = {
+    "hybrid": True,
+    "rescale": True,
+    "delta_propagation": False,
+    "compact_tables": True,
+}
+
+#: skewed-enough workload that hybrid hot-key splitting engages
+QUICK = {"parallelism": 3, "keys": 16, "exponent": 1.4}
+
+PAIRS = sorted(
+    itertools.combinations(sorted(ACTIVE), 2)
+)  # 6 pairwise combinations
+
+SEED = 7
+
+
+def _params(pair):
+    return {**QUICK, **{flag: ACTIVE[flag] for flag in pair}}
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=lambda p: "+".join(p))
+def test_pairwise_flags_pass_invariants(pair):
+    outcome = run_episode_cell(_params(pair), SEED)
+    assert outcome.violations == [], (
+        f"invariant violations with {pair}: {outcome.violations}"
+    )
+    assert outcome.bundle is None
+    assert outcome.metrics["rounds_completed"] >= 1
+    assert outcome.metrics["sim_tuples_per_s"] > 0
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=lambda p: "+".join(p))
+def test_pairwise_flags_fingerprint_is_seed_stable(pair):
+    first = run_episode_cell(_params(pair), SEED)
+    second = run_episode_cell(_params(pair), SEED)
+    assert first.fingerprint == second.fingerprint
+    assert first.metrics == second.metrics
+
+
+def test_cell_config_is_a_pure_function_of_params_and_seed():
+    params = _params(("hybrid", "rescale"))
+    params["faults"] = True
+    one = episode_config(params, SEED)
+    two = episode_config(params, SEED)
+    assert one == two
+    # a different seed draws different structured sub-plans
+    other = episode_config(params, SEED + 1)
+    assert (one.fault_plan, one.rescales, one.hybrid) != (
+        other.fault_plan,
+        other.rescales,
+        other.hybrid,
+    )
+
+
+def test_unknown_episode_param_is_rejected():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        run_episode_cell({"paralellism": 3}, SEED)  # typo'd axis

@@ -1,0 +1,82 @@
+"""Matrix expansion: cell ids, plan order, near-miss lookup."""
+
+import pytest
+
+from repro.campaign.config import CampaignConfig, CampaignError
+from repro.campaign.planner import CellSpec, cell_id, find_cell, plan
+
+
+def _config(**overrides):
+    base = dict(
+        name="demo",
+        runner="episode",
+        matrix={"hybrid": [False, True], "faults": [False, True]},
+        defaults={"parallelism": 3},
+        seeds=[7],
+        source="demo.yaml",
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def test_cell_id_formatting():
+    assert (
+        cell_id({"hybrid": True, "faults": False}, 7)
+        == "faults=off,hybrid=on,seed=7"
+    )
+    # floats render via %g; unsafe characters become dashes
+    assert cell_id({"exponent": 1.50, "policy": "a b"}, 0) == (
+        "exponent=1.5,policy=a-b,seed=0"
+    )
+    assert cell_id({"padding": 4000}, 3) == "padding=4000,seed=3"
+
+
+def test_plan_order_is_sorted_axes_then_file_order_then_seeds():
+    cells = plan(_config(matrix={"b": [1, 2], "a": ["x"]}, seeds=[7, 8]))
+    assert [cell.id for cell in cells] == [
+        "a=x,b=1,seed=7",
+        "a=x,b=1,seed=8",
+        "a=x,b=2,seed=7",
+        "a=x,b=2,seed=8",
+    ]
+
+
+def test_plan_merges_defaults_under_assignment():
+    (cell,) = plan(_config(matrix={"parallelism_override": [5]}))
+    assert cell.params == {"parallelism": 3, "parallelism_override": 5}
+    assert cell.assignment == {"parallelism_override": 5}
+    assert cell.seed == 7
+    assert cell.runner == "episode"
+
+
+def test_plan_is_deterministic():
+    config = _config(seeds=[1, 2])
+    first = [cell.id for cell in plan(config)]
+    second = [cell.id for cell in plan(config)]
+    assert first == second
+    assert len(first) == config.cells_per_seed * 2
+
+
+def test_plan_rejects_colliding_ids():
+    # "on" (string) and True both format to "on" — ids would collide
+    config = _config(matrix={"hybrid": ["on", True]})
+    with pytest.raises(CampaignError, match="collide"):
+        plan(config)
+
+
+def test_find_cell_exact_and_near_miss():
+    cells = plan(_config())
+    wanted = "faults=on,hybrid=on,seed=7"
+    assert find_cell(cells, wanted).id == wanted
+    with pytest.raises(CampaignError) as excinfo:
+        find_cell(cells, "hybrid=on,seed=7")  # axis subset: common typo
+    message = str(excinfo.value)
+    assert "closest planned cells" in message
+    # the best hints share the most axis parts with the typo
+    assert "hybrid=on" in message
+
+
+def test_cellspec_round_trips_through_dict():
+    (cell,) = plan(_config(matrix={"hybrid": [True]}))
+    clone = CellSpec.from_dict(cell.to_dict())
+    assert clone == cell

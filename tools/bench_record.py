@@ -17,6 +17,10 @@ with a configurable tolerance — rates because ratios within one run of
 the suite are machine-stable, bytes/key because the byte model is
 machine-independent entirely. Other metrics are informational.
 
+The axis-direction convention itself lives in
+``repro.campaign.baseline`` (campaign reports gate on the same rules);
+this module keeps its historical ``compare`` interface and delegates.
+
 Used by ``benchmarks/bench_engine.py`` (which can also be run as a
 CLI) and by the ``engine-bench`` CI job.
 """
@@ -27,7 +31,17 @@ import datetime
 import json
 import os
 import subprocess
+import sys
 from typing import Dict, List, Optional
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+try:
+    from repro.campaign.baseline import axis_of, compare_metrics
+except ImportError:  # standalone use without PYTHONPATH=src
+    sys.path.insert(0, _SRC)
+    from repro.campaign.baseline import axis_of, compare_metrics
 
 SCHEMA_VERSION = 1
 
@@ -108,35 +122,17 @@ def compare(
     baseline_metrics: Dict[str, float],
     metrics: Dict[str, float],
     tolerance: float = 0.20,
+    extra_axes: Optional[Dict[str, str]] = None,
 ) -> List[str]:
     """Regression messages for every rate metric that dropped — and
     every bytes/key metric that grew — more than ``tolerance`` vs the
-    baseline. Empty list means no regression."""
-    regressions = []
-    for key, base in sorted(baseline_metrics.items()):
-        if key.endswith("_per_s"):
-            now = metrics.get(key)
-            if now is None:
-                regressions.append(f"{key}: missing from current run")
-                continue
-            if base > 0 and now < base * (1.0 - tolerance):
-                regressions.append(
-                    f"{key}: {now:,.0f}/s is {now / base:.2f}x of "
-                    f"baseline {base:,.0f}/s "
-                    f"(allowed >= {1.0 - tolerance:.2f}x)"
-                )
-        elif key.endswith("_bytes_per_key"):
-            now = metrics.get(key)
-            if now is None:
-                regressions.append(f"{key}: missing from current run")
-                continue
-            if base > 0 and now > base * (1.0 + tolerance):
-                regressions.append(
-                    f"{key}: {now:,.1f} B is {now / base:.2f}x of "
-                    f"baseline {base:,.1f} B "
-                    f"(allowed <= {1.0 + tolerance:.2f}x)"
-                )
-    return regressions
+    baseline. Empty list means no regression. ``extra_axes`` assigns
+    directions ("higher"/"lower") to unsuffixed metric names; see
+    ``repro.campaign.baseline.axis_of`` for the full convention."""
+    return compare_metrics(
+        baseline_metrics, metrics, tolerance=tolerance,
+        extra_axes=extra_axes,
+    )
 
 
 def speedup(

@@ -46,7 +46,7 @@ DOC_FILES = [
 MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)[^)]*\)")
 #: backtick path: at least one slash, a known top dir, a file-ish tail
 CODE_PATH = re.compile(
-    r"`((?:src|examples|benchmarks|tests|tools|results)/[\w./\-*]+)`"
+    r"`((?:src|examples|benchmarks|tests|tools|results|campaigns)/[\w./\-*]+)`"
 )
 SECTION_REF = re.compile(r"(\w+\.md) §(\d+)")
 MODULE_REF = re.compile(r"`(repro(?:\.\w+)+)`")

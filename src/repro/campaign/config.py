@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 #: runner names accepted by ``runner:`` (see repro.campaign.runners)
-RUNNER_NAMES = ("episode", "fig13", "skew")
+RUNNER_NAMES = ("episode", "fig13", "skew", "backend")
 
 #: every key a campaign file may set at the top level
 KNOWN_KEYS = {

@@ -1,6 +1,6 @@
 """What one campaign cell runs.
 
-Three runners are registered:
+Four runners are registered:
 
 ``episode``
     A fuzz-grade deployment episode (``repro.testing``): PairsWorkload
@@ -22,6 +22,16 @@ Three runners are registered:
 ``skew``
     One (exponent, flash_share, policy) point of the PR 6 skew
     experiment, ported from the ``skew`` figure.
+
+``backend``
+    Cross-backend equivalence (DESIGN.md §15): run one scenario
+    (``fig13`` / ``skew`` / ``rescale``) on the reference DES and the
+    vectorized fast path from identical finite inputs, compare with
+    :func:`repro.testing.equivalence.compare_backends`, and report the
+    speedup. Any broken invariant lands in the cell's ``violations``
+    exactly like an episode-cell invariant breach, so the campaign
+    report gates it. ``backend: reference`` / ``backend: vectorized``
+    run one side only (for timing axes).
 
 Every runner returns a :class:`CellOutcome` whose ``metrics`` follow
 the ``tools/bench_record.py`` axis convention (``*_per_s`` higher is
@@ -223,10 +233,231 @@ def run_skew_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
     )
 
 
+#: scenarios the ``backend`` runner can replay on both backends
+BACKEND_SCENARIOS = ("fig13", "skew", "rescale")
+
+
+def _backend_topology_factory(
+    scenario: str, params: Dict[str, Any], seed: int
+):
+    """A zero-arg factory building one *finite* topology per call
+    (each backend run needs fresh operator state), plus the comparison
+    strictness the scenario's routing admits."""
+    parallelism = int(params.get("parallelism", 4))
+    tuples_per_instance = int(params.get("tuples_per_instance", 1000))
+    strict = {"exact_placements": True, "exact_received": True}
+
+    if scenario == "fig13":
+        from repro.workloads.flickr import FlickrConfig, FlickrWorkload
+
+        workload = FlickrWorkload(FlickrConfig(seed=seed))
+        padding = int(params.get("padding", 4000))
+        factory = lambda: workload.topology(
+            parallelism=parallelism,
+            padding=padding,
+            tuples_per_instance=tuples_per_instance,
+        )
+        return factory, strict
+
+    if scenario == "skew":
+        from repro.workloads.skew import SkewConfig, SkewWorkload
+
+        policy = str(params.get("policy", "table"))
+        config = SkewConfig(
+            parallelism=parallelism,
+            seed=seed,
+            tuples_per_instance=tuples_per_instance,
+        )
+        factory = lambda: SkewWorkload(config).topology(policy)
+        if policy == "hybrid":
+            # d-choices picks are load-dependent: totals stay exact,
+            # placements only guarantee member-set containment
+            strict = {"exact_placements": False, "exact_received": False}
+        return factory, strict
+
+    raise ValueError(
+        f"backend runner got unknown scenario {scenario!r}; "
+        f"one of {list(BACKEND_SCENARIOS)}"
+    )
+
+
+def _run_backend_rescale(params: Dict[str, Any], seed: int) -> CellOutcome:
+    """The rescale scenario: a real DES ``Manager.rescale`` episode,
+    then the same *final decision* replayed on the vectorized backend
+    as scripted actions — per-key totals and final placements must
+    match exactly (both equal ``owner_of`` under the final table)."""
+    import random
+
+    from repro.core import Manager, ManagerConfig
+    from repro.engine import (
+        CountBolt,
+        TableFieldsGrouping,
+        TopologyBuilder,
+    )
+    from repro.engine.backends import (
+        BackendOptions,
+        ReconfigureAction,
+        run_topology,
+    )
+    from repro.engine.operators import IteratorSpout
+    from repro.testing.equivalence import compare_backends
+
+    spouts = int(params.get("parallelism", 3))
+    tuples_per_instance = int(params.get("tuples_per_instance", 2000))
+    before, after = 2, 4
+
+    def make_topology():
+        def source(ctx):
+            rng = random.Random(seed * 1000003 + ctx.instance_index)
+            for _ in range(tuples_per_instance):
+                a = rng.randrange(12)
+                yield (a, a + 100)
+
+        builder = TopologyBuilder()
+        builder.spout(
+            "S", lambda: IteratorSpout(source), parallelism=spouts
+        )
+        builder.bolt(
+            "A",
+            lambda: CountBolt(0, forward=True),
+            parallelism=before,
+            inputs={"S": TableFieldsGrouping(0)},
+        )
+        builder.bolt(
+            "B",
+            lambda: CountBolt(1, forward=False),
+            parallelism=before,
+            inputs={"A": TableFieldsGrouping(1)},
+        )
+        return builder.build()
+
+    def attach_manager(deployment):
+        sim = deployment.sim
+        manager = Manager(deployment, ManagerConfig(period_s=None))
+
+        def kick():
+            if not manager.rescale(after, on_complete=lambda r: None):
+                sim.schedule(0.01, kick)
+
+        sim.schedule(0.02, kick)
+
+    ref = run_topology(
+        make_topology(),
+        "reference",
+        BackendOptions(num_servers=after, on_deployed=attach_manager),
+    )
+    deployment = ref.handle
+    actions = [
+        ReconfigureAction(
+            tuples_per_instance,
+            "S->A",
+            deployment.executors["S"][0].table_router("S->A").table,
+            after,
+        ),
+        ReconfigureAction(
+            tuples_per_instance,
+            "A->B",
+            deployment.executors["A"][0].table_router("A->B").table,
+            after,
+        ),
+    ]
+    vec = run_topology(
+        make_topology(),
+        "vectorized",
+        BackendOptions(num_servers=after, actions=actions),
+    )
+    # swap timing differs between the backends, so locality/received
+    # are epoch-weighted differently; totals and placements are exact
+    report = compare_backends(
+        ref, vec, exact_received=False, locality_tol=1.0, balance_tol=1.0
+    )
+    return _backend_outcome(report, ref, vec)
+
+
+def _backend_outcome(report, ref, vec) -> CellOutcome:
+    speedup = (
+        vec.tuples_per_s / ref.tuples_per_s if ref.tuples_per_s else 0.0
+    )
+    return CellOutcome(
+        # wall-clock throughputs deliberately avoid the directed
+        # ``_per_s`` suffix: absolute speed is machine noise in CI; the
+        # same-machine back-to-back speedup ratio is what gets gated
+        metrics={
+            "reference_throughput": ref.tuples_per_s,
+            "vectorized_throughput": vec.tuples_per_s,
+            "vectorized_speedup_x": speedup,
+            "locality_delta": abs(ref.locality - vec.locality),
+            "equivalent": 0.0 if report.violations else 1.0,
+        },
+        violations=[v.to_dict() for v in report.violations],
+    )
+
+
+def run_backend_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    from repro.engine.backends import BackendOptions, run_topology
+    from repro.testing.equivalence import run_equivalence
+
+    _unknown(
+        params,
+        {
+            "scenario",
+            "backend",
+            "parallelism",
+            "padding",
+            "policy",
+            "tuples_per_instance",
+            "batch_size",
+        },
+        "backend",
+    )
+    scenario = str(params.get("scenario", "fig13"))
+    # "skew-hybrid" style values let a campaign sweep scenario+policy
+    # on one (scalar-valued) matrix axis without redundant crossings
+    if scenario.startswith("skew-"):
+        params = dict(params, policy=scenario.partition("-")[2])
+        scenario = "skew"
+    backend = str(params.get("backend", "both"))
+    batch_size = int(params.get("batch_size", 2048))
+
+    if scenario == "rescale":
+        if backend != "both":
+            raise ValueError(
+                "backend runner: the rescale scenario always runs both "
+                "backends (the DES decides, the fast path replays)"
+            )
+        return _run_backend_rescale(params, seed)
+
+    factory, strict = _backend_topology_factory(scenario, params, seed)
+
+    if backend != "both":
+        result = run_topology(
+            factory(), backend, BackendOptions(batch_size=batch_size)
+        )
+        return CellOutcome(
+            metrics={
+                "throughput": result.tuples_per_s,
+                "locality": result.locality,
+                "load_balance": max(
+                    result.load_balance.values(), default=1.0
+                ),
+            }
+        )
+
+    report, ref, vec = run_equivalence(
+        factory,
+        candidate_options=BackendOptions(batch_size=batch_size),
+        locality_tol=0.05 if not strict["exact_placements"] else 1e-9,
+        balance_tol=0.15 if not strict["exact_placements"] else 1e-9,
+        **strict,
+    )
+    return _backend_outcome(report, ref, vec)
+
+
 RUNNERS: Dict[str, Callable[[Dict[str, Any], int], CellOutcome]] = {
     "episode": run_episode_cell,
     "fig13": run_fig13_cell,
     "skew": run_skew_cell,
+    "backend": run_backend_cell,
 }
 
 

@@ -15,6 +15,13 @@ discrete-event simulation (DES) of the same moving parts:
   per spout), so measured throughput is the bottleneck-stage rate.
 
 See ``DESIGN.md`` Section 5 for the calibration rationale.
+
+The DES is one of several *execution backends*: the
+``repro.engine.physical`` seam (re-exported here) lets the same
+topology run on pluggable drivers, and ``repro.engine.backends``
+(imported lazily — it needs numpy) registers the reference DES and the
+batched-vectorized fast path behind ``run_topology``; see
+``DESIGN.md`` Section 15.
 """
 
 from repro.engine.cluster import Cluster, Server
@@ -41,6 +48,14 @@ from repro.engine.operators import (
     SumBolt,
 )
 from repro.engine.flow import FlowPrediction, FlowStage, predict_throughput
+from repro.engine.physical import (
+    OpStats,
+    PhysicalEdge,
+    PhysicalOperator,
+    PhysicalPlan,
+    SourceOperator,
+    TupleBatch,
+)
 from repro.engine.runner import Deployment, RunConfig, RunResult, deploy, run
 from repro.engine.simulator import Simulator
 from repro.engine.topology import Topology, TopologyBuilder
@@ -84,4 +99,10 @@ __all__ = [
     "FlowStage",
     "FlowPrediction",
     "predict_throughput",
+    "PhysicalOperator",
+    "SourceOperator",
+    "PhysicalEdge",
+    "PhysicalPlan",
+    "TupleBatch",
+    "OpStats",
 ]

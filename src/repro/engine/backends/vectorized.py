@@ -1,0 +1,1029 @@
+"""The batched-vectorized fast path (DESIGN.md §15).
+
+The DES executes one simulator event per tuple hop; this backend packs
+tuples into :class:`~repro.engine.physical.TupleBatch` micro-batches
+and resolves everything per *batch*:
+
+- each keyed stream owns a **key vocabulary** (key → dense int id,
+  interned once per distinct key) and a **route array** (id →
+  destination instance) mirroring the scalar router math exactly:
+  a valid table entry wins, otherwise ``stable_hash(key, seed) % n``;
+- a batch routes as ``route[ids]`` — one numpy gather instead of
+  len(batch) Python calls;
+- counting bolts accumulate per-instance ``np.bincount`` over key ids;
+- payload bytes, locality and the coarse time model (per-server CPU
+  busy seconds, NIC transfer seconds) are numpy reductions.
+
+Python-level work is O(batch) plus O(distinct new keys) per batch (the
+vocabulary and route arrays extend once per unique key); the per-tuple
+costs that remain are cheap dict/list operations in tight loops.
+
+Exactness contract (enforced by :mod:`repro.testing.equivalence`):
+
+- **table / hash** streams: per-tuple routing decisions identical to
+  the DES routers (pure functions of the key);
+- **hybrid** streams: tail keys identical; split keys always land
+  inside the member set, but the least-loaded pick is load-dependent,
+  so only per-key totals and member-set containment are guaranteed;
+- **PKG** streams: candidate sets identical; the d-choices pick is
+  load-dependent (per-edge counters here vs per-source-router counters
+  in the DES), so the same containment-and-totals guarantee applies;
+- **shuffle** streams: round-robin per source instance, matched to the
+  DES only in aggregate (per-destination counts within one tuple).
+
+Operators without a vectorized kernel (anything that is not a
+:class:`~repro.engine.operators.CountBolt` counting its input stream's
+routing key) fall back to a scalar per-tuple loop over real operator
+instances — correct for any bolt, just not O(batch).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.grouping import (
+    _SCALAR_KEY_TYPES,
+    FieldsGrouping,
+    HybridTableFieldsGrouping,
+    PartialKeyGrouping,
+    ShuffleGrouping,
+    TableFieldsGrouping,
+    candidate_instances,
+    stable_hash,
+)
+from repro.engine.operators import (
+    Bolt,
+    CountBolt,
+    IteratorSpout,
+    OperatorContext,
+    Spout,
+    StatefulBolt,
+)
+from repro.engine.physical import (
+    PhysicalEdge,
+    PhysicalOperator,
+    PhysicalPlan,
+    SourceOperator,
+    TupleBatch,
+)
+from repro.engine.topology import Topology
+from repro.engine.tuples import payload_size
+from repro.errors import DeploymentError, RoutingError
+
+
+class _Meter:
+    """Per-server modeled busy time (CPU + NIC) and byte counters."""
+
+    def __init__(self, num_servers: int, costs, bandwidth_gbps) -> None:
+        self.costs = costs
+        self.cpu_s = np.zeros(num_servers)
+        self.nic_tx_s = np.zeros(num_servers)
+        self.nic_rx_s = np.zeros(num_servers)
+        self.bytes_per_s = (
+            bandwidth_gbps * 1e9 / 8.0 if bandwidth_gbps else None
+        )
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.cpu_s)
+
+    def sim_s(self) -> float:
+        """Modeled makespan: the busiest resource bounds throughput."""
+        busiest = float(self.cpu_s.max()) if len(self.cpu_s) else 0.0
+        if self.bytes_per_s:
+            busiest = max(
+                busiest,
+                float(self.nic_tx_s.max()),
+                float(self.nic_rx_s.max()),
+            )
+        return busiest
+
+
+class _Vocab:
+    """Key interning for one stream: key → dense id, id → key.
+
+    Memo keys are type-tagged exactly like the scalar routers' LRU
+    caches (``1`` / ``1.0`` / ``True`` must not alias); non-scalar keys
+    are rejected — the vectorized backend requires scalar routing keys.
+    """
+
+    __slots__ = ("memo", "keys")
+
+    def __init__(self) -> None:
+        self.memo: dict = {}
+        self.keys: List[Any] = []
+
+    def encode(self, raw_keys, stream_name: str) -> Tuple[np.ndarray, int]:
+        """Ids for ``raw_keys``; returns (ids, first_new_id)."""
+        memo = self.memo
+        get = memo.get
+        keys = self.keys
+        first_new = len(keys)
+        ids = np.empty(len(raw_keys), dtype=np.int64)
+        index = 0
+        for key in raw_keys:
+            cls = key.__class__
+            if cls not in _SCALAR_KEY_TYPES:
+                raise RoutingError(
+                    f"vectorized backend requires scalar routing keys; "
+                    f"stream {stream_name!r} saw {cls.__name__}"
+                )
+            memo_key = (cls, key)
+            kid = get(memo_key)
+            if kid is None:
+                kid = len(keys)
+                memo[memo_key] = kid
+                keys.append(key)
+            ids[index] = kid
+            index += 1
+        return ids, first_new
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class _VectorEdge:
+    """One stream's vectorized router + cost/locality accounting.
+
+    The transform applied to every batch crossing the edge: extract
+    keys, resolve destinations, account bytes/locality/served time,
+    and hand the consumer a routed batch (``dst_instances`` and — for
+    keyed streams — ``key_ids`` filled in).
+    """
+
+    KEYED_KINDS = ("table", "hash", "hybrid", "pkg")
+
+    def __init__(
+        self,
+        stream_name: str,
+        kind: str,
+        key_fn,
+        key_spec,
+        seed: int,
+        num_destinations: int,
+        table,
+        d: int,
+        src_placement: np.ndarray,
+        dst_placement: np.ndarray,
+        meter: _Meter,
+    ) -> None:
+        self.stream_name = stream_name
+        self.kind = kind
+        self.key_fn = key_fn
+        self.key_spec = key_spec
+        self.seed = seed
+        self.n = num_destinations
+        self.table = table
+        self.d = d
+        self.src_placement = src_placement
+        self.dst_placement = dst_placement
+        self.meter = meter
+        self.vocab = _Vocab()
+        #: id → destination instance (table entry or hash fallback)
+        self.route = np.empty(0, dtype=np.int64)
+        #: pkg: id → d candidate instances
+        self.cands = np.empty((0, d), dtype=np.int64)
+        #: hybrid: id → split member tuple
+        self.splits: Dict[int, Tuple[int, ...]] = {}
+        #: hybrid/pkg: per-destination sent counters (least-loaded pick)
+        self.sent = np.zeros(num_destinations, dtype=np.int64)
+        #: shuffle: next destination per source instance
+        self._shuffle_next: Dict[int, int] = {}
+        self.local_tuples = 0
+        self.total_tuples = 0
+        self.received = np.zeros(num_destinations, dtype=np.int64)
+        self.table_hits = 0
+        self.hash_fallbacks = 0
+
+    # -- route resolution ----------------------------------------------
+
+    def _resolve(self, key) -> int:
+        """Scalar-router-identical decision for one key."""
+        table = self.table
+        if table is not None:
+            instance = table.lookup(key)
+            if instance is not None:
+                if not 0 <= instance < self.n:
+                    raise RoutingError(
+                        f"routing table maps {key!r} to instance "
+                        f"{instance}, but stream has {self.n} destinations"
+                    )
+                self.table_hits += 1
+                return instance
+        self.hash_fallbacks += 1
+        return stable_hash(key, self.seed) % self.n
+
+    def _extend(self, first_new: int) -> None:
+        """Resolve routes (and candidates/splits) for new vocab ids."""
+        keys = self.vocab.keys
+        total = len(keys)
+        if total == len(self.route) and self.kind != "pkg":
+            return
+        if self.kind == "pkg":
+            if total > len(self.cands):
+                fresh = np.array(
+                    [
+                        candidate_instances(key, self.seed, self.n, self.d)
+                        for key in keys[len(self.cands):]
+                    ],
+                    dtype=np.int64,
+                ).reshape(-1, self.d)
+                self.cands = np.concatenate([self.cands, fresh])
+            return
+        new_routes = [self._resolve(key) for key in keys[len(self.route):]]
+        if new_routes:
+            base = len(self.route)
+            self.route = np.concatenate(
+                [self.route, np.array(new_routes, dtype=np.int64)]
+            )
+            if self.kind == "hybrid":
+                split_fn = getattr(self.table, "split", None)
+                if split_fn is not None:
+                    for kid in range(base, len(keys)):
+                        members = split_fn(keys[kid])
+                        if members:
+                            valid = tuple(
+                                m for m in members if 0 <= m < self.n
+                            )
+                            if not valid:
+                                raise RoutingError(
+                                    f"split set maps {keys[kid]!r} to "
+                                    f"{members}, all outside the stream's "
+                                    f"{self.n} destinations"
+                                )
+                            self.splits[kid] = valid
+
+    def rebuild(self, table, num_destinations: Optional[int]) -> None:
+        """Swap the routing table (and optionally the width) and
+        re-resolve every known key — the vectorized mirror of
+        ``TableRouter.update_table`` / ``resize``."""
+        if num_destinations is not None:
+            if num_destinations < 1:
+                raise RoutingError(
+                    f"num_destinations must be >= 1, got {num_destinations}"
+                )
+            self.n = num_destinations
+            old_received = self.received
+            self.received = np.zeros(self.n, dtype=np.int64)
+            limit = min(len(old_received), self.n)
+            self.received[:limit] = old_received[:limit]
+        self.table = table
+        self.route = np.empty(0, dtype=np.int64)
+        self.splits = {}
+        self.sent = np.zeros(self.n, dtype=np.int64)
+        self._extend(0)
+
+    def owner_of_ids(self) -> np.ndarray:
+        """Current owner per known key id (deterministic kinds only)."""
+        if self.kind not in ("table", "hash"):
+            raise RoutingError(
+                f"stream {self.stream_name!r} ({self.kind}) has no "
+                f"deterministic per-key owner"
+            )
+        self._extend(0)
+        return self.route
+
+    # -- the batch transform -------------------------------------------
+
+    def __call__(self, batch: TupleBatch) -> TupleBatch:
+        n_tuples = len(batch.values)
+        if self.kind in self.KEYED_KINDS:
+            key_fn = self.key_fn
+            raw_keys = [key_fn(v) for v in batch.values]
+            ids, _ = self.vocab.encode(raw_keys, self.stream_name)
+            self._extend(0)
+            if self.kind == "pkg":
+                dst = self._pick_pkg(ids)
+            else:
+                dst = self.route[ids]
+                if self.splits:
+                    dst = self._apply_splits(ids, dst)
+                elif self.kind == "hybrid":
+                    np.add.at(self.sent, dst, 1)
+        elif self.kind == "shuffle":
+            ids = None
+            dst = self._pick_shuffle(batch, n_tuples)
+        else:  # pragma: no cover - compile() rejects other kinds
+            raise RoutingError(f"unroutable kind {self.kind!r}")
+
+        self._account(batch, dst)
+        return TupleBatch(
+            batch.values,
+            src_instances=batch.src_instances,
+            dst_instances=dst,
+            sizes=batch.sizes,
+            key_ids=ids,
+        )
+
+    def _apply_splits(self, ids: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Reroute split heavy hitters to their least-loaded member.
+
+        Tail traffic is credited to the load counters per batch (the
+        DES router credits per tuple) — split keys stay inside their
+        member set either way; the exact member sequence is the
+        documented divergence."""
+        dst = dst.copy()
+        splits = self.splits
+        sent = self.sent
+        split_mask = np.isin(ids, np.fromiter(splits, dtype=np.int64))
+        tail = dst[~split_mask]
+        if len(tail):
+            np.add.at(sent, tail, 1)
+        for index in np.nonzero(split_mask)[0]:
+            members = splits[int(ids[index])]
+            choice = members[0]
+            best = sent[choice]
+            for member in members[1:]:
+                if sent[member] < best:
+                    best = sent[member]
+                    choice = member
+            dst[index] = choice
+            sent[choice] += 1
+        return dst
+
+    def _pick_pkg(self, ids: np.ndarray) -> np.ndarray:
+        """d-choices pick per tuple (inherently sequential: each pick
+        feeds the load counters the next pick reads)."""
+        sent = self.sent
+        cands = self.cands
+        dst = np.empty(len(ids), dtype=np.int64)
+        for index, kid in enumerate(ids):
+            row = cands[kid]
+            choice = row[0]
+            best = sent[choice]
+            for member in row[1:]:
+                if sent[member] < best:
+                    best = sent[member]
+                    choice = member
+            dst[index] = choice
+            sent[choice] += 1
+        return dst
+
+    def _pick_shuffle(self, batch: TupleBatch, n_tuples: int) -> np.ndarray:
+        nxt = self._shuffle_next
+        n = self.n
+        src = batch.src_instances
+        dst = np.empty(n_tuples, dtype=np.int64)
+        if src is None or len(np.unique(src)) == 1:
+            instance = int(src[0]) if src is not None and len(src) else 0
+            start = nxt.get(instance)
+            if start is None:
+                start = instance % n
+            dst[:] = (start + np.arange(n_tuples)) % n
+            nxt[instance] = int((start + n_tuples) % n)
+        else:
+            for index in range(n_tuples):
+                instance = int(src[index])
+                start = nxt.get(instance)
+                if start is None:
+                    start = instance % n
+                dst[index] = start
+                nxt[instance] = (start + 1) % n
+        return dst
+
+    def _account(self, batch: TupleBatch, dst: np.ndarray) -> None:
+        meter = self.meter
+        costs = meter.costs
+        n_tuples = len(dst)
+        self.total_tuples += n_tuples
+        self.received += np.bincount(dst, minlength=self.n)
+
+        src_servers = (
+            self.src_placement[batch.src_instances]
+            if batch.src_instances is not None
+            else np.zeros(n_tuples, dtype=np.int64)
+        )
+        dst_servers = self.dst_placement[dst]
+        remote = src_servers != dst_servers
+        n_remote = int(remote.sum())
+        self.local_tuples += n_tuples - n_remote
+
+        # Destination CPU: the bolt's per-tuple service time.
+        meter.cpu_s += (
+            np.bincount(dst_servers, minlength=meter.num_servers)
+            * costs.bolt_service_s
+        )
+        if n_remote and batch.sizes is not None:
+            sizes = batch.sizes
+            remote_src = src_servers[remote]
+            remote_dst = dst_servers[remote]
+            remote_bytes = sizes[remote]
+            tx_counts = np.bincount(
+                remote_src, minlength=meter.num_servers
+            )
+            rx_counts = np.bincount(
+                remote_dst, minlength=meter.num_servers
+            )
+            tx_bytes = np.bincount(
+                remote_src,
+                weights=remote_bytes,
+                minlength=meter.num_servers,
+            )
+            rx_bytes = np.bincount(
+                remote_dst,
+                weights=remote_bytes,
+                minlength=meter.num_servers,
+            )
+            meter.cpu_s += (
+                tx_counts * costs.ser_fixed_s
+                + tx_bytes * costs.ser_per_byte_s
+                + rx_counts * costs.deser_fixed_s
+                + rx_bytes * costs.deser_per_byte_s
+            )
+            if meter.bytes_per_s:
+                meter.nic_tx_s += tx_bytes / meter.bytes_per_s
+                meter.nic_rx_s += rx_bytes / meter.bytes_per_s
+
+    def locality(self) -> float:
+        if not self.total_tuples:
+            return 1.0
+        return self.local_tuples / self.total_tuples
+
+
+# ----------------------------------------------------------------------
+# Physical operators
+# ----------------------------------------------------------------------
+
+
+class _ShimContext(OperatorContext):
+    """Minimal operator context for backend-hosted operator objects."""
+
+    def __init__(
+        self, op_name: str, instance: int, parallelism: int, server: int
+    ) -> None:
+        super().__init__(op_name, instance, parallelism, server, lambda: 0.0)
+
+
+class _VTuple:
+    """Value carrier handed to scalar-fallback ``Bolt.process``."""
+
+    __slots__ = ("values", "size", "root_id")
+
+    def __init__(self, values: tuple, size: int) -> None:
+        self.values = values
+        self.size = size
+        self.root_id = None
+
+
+class _VectorSpoutSource(SourceOperator):
+    """One physical source per spout logical op: cycles its instances,
+    producing one single-instance batch per poll."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], object],
+        parallelism: int,
+        placement: np.ndarray,
+        meter: _Meter,
+        batch_size: int,
+        max_tuples_per_instance: Optional[int],
+    ) -> None:
+        super().__init__(name)
+        self.placement = placement
+        self.meter = meter
+        self.batch_size = batch_size
+        self._header = meter.costs.tuple_header_bytes
+        self._spouts: List[Spout] = []
+        self._iters: List[Any] = []
+        self._contexts: List[_ShimContext] = []
+        self._budget: List[Optional[int]] = []
+        self._live: List[int] = []
+        self._cursor = 0
+        for instance in range(parallelism):
+            operator = factory()
+            if not isinstance(operator, Spout):
+                raise DeploymentError(
+                    f"factory of spout {name!r} returned "
+                    f"{type(operator).__name__}, not a Spout"
+                )
+            context = _ShimContext(
+                name, instance, parallelism, int(placement[instance])
+            )
+            operator.open(context)
+            self._spouts.append(operator)
+            self._contexts.append(context)
+            # Fast path: drain the IteratorSpout's iterator directly
+            # (islice-style) instead of one next_tuple call per tuple.
+            self._iters.append(
+                operator._iterator
+                if isinstance(operator, IteratorSpout)
+                else None
+            )
+            self._budget.append(max_tuples_per_instance)
+            self._live.append(instance)
+
+    def _poll(self) -> Optional[TupleBatch]:
+        while self._live:
+            slot = self._cursor % len(self._live)
+            instance = self._live[slot]
+            values = self._pull(instance)
+            if values:
+                self._cursor = slot + 1
+                return self._make_batch(instance, values)
+            self._live.pop(slot)
+            if self._live:
+                self._cursor = slot % len(self._live)
+        return None
+
+    def _pull(self, instance: int) -> List[tuple]:
+        budget = self._budget[instance]
+        limit = self.batch_size if budget is None else min(
+            self.batch_size, budget
+        )
+        if limit <= 0:
+            return []
+        values: List[tuple] = []
+        iterator = self._iters[instance]
+        if iterator is not None:
+            append = values.append
+            try:
+                for _ in range(limit):
+                    append(next(iterator))
+            except StopIteration:
+                pass
+        else:
+            spout = self._spouts[instance]
+            context = self._contexts[instance]
+            while len(values) < limit:
+                if spout.finished or not spout.next_tuple(context):
+                    break
+                values.extend(context._drain())
+        if budget is not None:
+            self._budget[instance] = budget - len(values)
+        return values
+
+    def _make_batch(self, instance: int, values: List[tuple]) -> TupleBatch:
+        n_tuples = len(values)
+        header = self._header
+        sizes = np.fromiter(
+            (payload_size(v) + header for v in values),
+            dtype=np.int64,
+            count=n_tuples,
+        )
+        self.meter.cpu_s[self.placement[instance]] += (
+            n_tuples * self.meter.costs.spout_service_s
+        )
+        return TupleBatch(
+            values,
+            src_instances=np.full(n_tuples, instance, dtype=np.int64),
+            sizes=sizes,
+        )
+
+
+class _VectorCountOp(PhysicalOperator):
+    """Vectorized CountBolt: per-instance bincount over the input
+    edge's key ids (valid because the counted key *is* the routing
+    key, proven at compile time via ``key_spec``)."""
+
+    def __init__(
+        self,
+        name: str,
+        input_names,
+        parallelism: int,
+        forward: bool,
+        in_edge: _VectorEdge,
+    ) -> None:
+        super().__init__(name, input_names)
+        self.parallelism = parallelism
+        self.forward = forward
+        self.in_edge = in_edge
+        self._counts = [
+            np.zeros(0, dtype=np.int64) for _ in range(parallelism)
+        ]
+
+    def _ensure(self, instance: int, size: int) -> None:
+        counts = self._counts[instance]
+        if len(counts) < size:
+            grown = np.zeros(max(size, 2 * len(counts)), dtype=np.int64)
+            grown[: len(counts)] = counts
+            self._counts[instance] = grown
+
+    def _process(self, batch: TupleBatch, input_index: int) -> None:
+        ids = batch.key_ids
+        dst = batch.dst_instances
+        vocab_size = len(self.in_edge.vocab)
+        for instance in range(self.parallelism):
+            mask = dst == instance
+            if not mask.any():
+                continue
+            tallies = np.bincount(ids[mask], minlength=vocab_size)
+            self._ensure(instance, len(tallies))
+            self._counts[instance][: len(tallies)] += tallies
+        if self.forward:
+            self._emit(
+                TupleBatch(
+                    batch.values,
+                    src_instances=dst,
+                    sizes=batch.sizes,
+                )
+            )
+
+    def resize(self, parallelism: int) -> None:
+        while len(self._counts) < parallelism:
+            self._counts.append(np.zeros(0, dtype=np.int64))
+        self.parallelism = max(self.parallelism, parallelism)
+
+    def migrate(self, owner_of_id: np.ndarray) -> None:
+        """Move every key's count to its (new) owner instance — the
+        state-migration step of a scripted reconfiguration."""
+        size = len(owner_of_id)
+        for instance in range(self.parallelism):
+            counts = self._counts[instance]
+            limit = min(len(counts), size)
+            if not limit:
+                continue
+            held = np.nonzero(counts[:limit])[0]
+            moving = held[owner_of_id[held] != instance]
+            for kid in moving:
+                owner = int(owner_of_id[kid])
+                self._ensure(owner, kid + 1)
+                self._counts[owner][kid] += counts[kid]
+                counts[kid] = 0
+
+    # -- result extraction ---------------------------------------------
+
+    def per_key_totals(self) -> Dict[Any, int]:
+        keys = self.in_edge.vocab.keys
+        totals: Dict[Any, int] = {}
+        for counts in self._counts:
+            for kid in np.nonzero(counts)[0]:
+                key = keys[kid]
+                totals[key] = totals.get(key, 0) + int(counts[kid])
+        return totals
+
+    def key_instances(self) -> Dict[Any, Tuple[int, ...]]:
+        keys = self.in_edge.vocab.keys
+        holders: Dict[Any, list] = {}
+        for instance, counts in enumerate(self._counts):
+            for kid in np.nonzero(counts)[0]:
+                holders.setdefault(keys[kid], []).append(instance)
+        return {
+            key: tuple(sorted(instances))
+            for key, instances in holders.items()
+        }
+
+
+class _ScalarBoltOp(PhysicalOperator):
+    """Correctness fallback: run real operator instances per tuple.
+
+    Used for any bolt without a vectorized kernel (SumBolt,
+    PartialCountBolt, pass-through/function bolts, or a CountBolt whose
+    key differs from its input stream's routing key). Still batch-
+    structured — emissions are collected into output batches — but the
+    inner loop is per tuple."""
+
+    def __init__(
+        self,
+        name: str,
+        input_names,
+        factory: Callable[[], object],
+        parallelism: int,
+        placement: np.ndarray,
+        header_bytes: int,
+    ) -> None:
+        super().__init__(name, input_names)
+        self.parallelism = parallelism
+        self._header = header_bytes
+        self.operators: List[Bolt] = []
+        self.contexts: List[_ShimContext] = []
+        for instance in range(parallelism):
+            operator = factory()
+            context = _ShimContext(
+                name, instance, parallelism, int(placement[instance])
+            )
+            operator.open(context)
+            self.operators.append(operator)
+            self.contexts.append(context)
+        self._factory = factory
+        self._placement = placement
+
+    def _process(self, batch: TupleBatch, input_index: int) -> None:
+        dst = batch.dst_instances
+        sizes = batch.sizes
+        out_values: List[tuple] = []
+        out_src: List[int] = []
+        for index, values in enumerate(batch.values):
+            instance = int(dst[index])
+            operator = self.operators[instance]
+            context = self.contexts[instance]
+            size = int(sizes[index]) if sizes is not None else 0
+            operator.process(_VTuple(values, size), context)
+            emitted = context._drain()
+            if emitted:
+                out_values.extend(emitted)
+                out_src.extend([instance] * len(emitted))
+        if out_values:
+            header = self._header
+            self._emit(
+                TupleBatch(
+                    out_values,
+                    src_instances=np.array(out_src, dtype=np.int64),
+                    sizes=np.fromiter(
+                        (payload_size(v) + header for v in out_values),
+                        dtype=np.int64,
+                        count=len(out_values),
+                    ),
+                )
+            )
+
+    def resize(self, parallelism: int) -> None:
+        while len(self.operators) < parallelism:
+            instance = len(self.operators)
+            operator = self._factory()
+            server = int(self._placement[instance % len(self._placement)])
+            context = _ShimContext(self.name, instance, parallelism, server)
+            operator.open(context)
+            self.operators.append(operator)
+            self.contexts.append(context)
+        self.parallelism = max(self.parallelism, parallelism)
+
+    def migrate(self, owner_for_key: Callable[[Any], int]) -> None:
+        for instance, operator in enumerate(self.operators):
+            if not isinstance(operator, StatefulBolt):
+                return
+            moving = [
+                key
+                for key in operator.state
+                if owner_for_key(key) != instance
+            ]
+            for key in moving:
+                owner = owner_for_key(key)
+                self.operators[owner].install_state(
+                    operator.extract_state([key])
+                )
+
+    def per_key_totals(self) -> Dict[Any, int]:
+        totals: Dict[Any, int] = {}
+        for operator in self.operators:
+            if not isinstance(operator, StatefulBolt):
+                return {}
+            for key, value in operator.state.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def key_instances(self) -> Dict[Any, Tuple[int, ...]]:
+        holders: Dict[Any, list] = {}
+        for instance, operator in enumerate(self.operators):
+            if not isinstance(operator, StatefulBolt):
+                return {}
+            for key in operator.state:
+                holders.setdefault(key, []).append(instance)
+        return {
+            key: tuple(sorted(instances))
+            for key, instances in holders.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Compilation + driver
+# ----------------------------------------------------------------------
+
+
+def _edge_kind(grouping) -> Tuple[str, int]:
+    """(kind, d) of a grouping; raises for unsupported policies."""
+    if isinstance(grouping, HybridTableFieldsGrouping):
+        return "hybrid", 2
+    if isinstance(grouping, TableFieldsGrouping):
+        return "table", 2
+    if isinstance(grouping, FieldsGrouping):
+        return "hash", 2
+    if isinstance(grouping, PartialKeyGrouping):
+        return "pkg", grouping.d
+    if isinstance(grouping, ShuffleGrouping):
+        return "shuffle", 2
+    raise RoutingError(
+        f"vectorized backend does not support "
+        f"{type(grouping).__name__} (reference backend required)"
+    )
+
+
+def _count_fast_path(operator, in_streams) -> bool:
+    """Whether the bolt is a CountBolt counting its (single) input
+    stream's routing key — the condition for the bincount kernel."""
+    if not isinstance(operator, CountBolt):
+        return False
+    if len(in_streams) != 1:
+        return False
+    grouping = in_streams[0].grouping
+    key_spec = getattr(grouping, "key_spec", None)
+    return (
+        isinstance(key_spec, int)
+        and isinstance(operator.key_spec, int)
+        and key_spec == operator.key_spec
+    )
+
+
+class _VectorizedRun:
+    """Compiled plan plus the mutable routing/placement state the
+    scripted reconfigurations update."""
+
+    def __init__(self, topology: Topology, options) -> None:
+        from repro.engine.backends import _default_servers
+
+        self.topology = topology
+        self.options = options
+        self.num_servers = _default_servers(topology, options)
+        self.meter = _Meter(
+            self.num_servers, options.costs, options.bandwidth_gbps
+        )
+        # Widths a scripted rescale may grow to must be placeable.
+        widest = max(
+            [op.parallelism for op in topology.operators.values()]
+            + [a.parallelism or 1 for a in options.actions]
+        )
+        self.placements: Dict[str, np.ndarray] = {}
+        self.widths: Dict[str, int] = {}
+        for op in topology.operators.values():
+            self.widths[op.name] = op.parallelism
+            self.placements[op.name] = (
+                np.arange(max(op.parallelism, widest), dtype=np.int64)
+                % self.num_servers
+            )
+
+        self.ops: Dict[str, PhysicalOperator] = {}
+        self.edges_by_stream: Dict[str, _VectorEdge] = {}
+        phys_edges: List[PhysicalEdge] = []
+
+        for name in topology.topological_order():
+            spec = topology.operator(name)
+            in_streams = topology.inputs_of(name)
+            if spec.is_spout:
+                self.ops[name] = _VectorSpoutSource(
+                    name,
+                    spec.factory,
+                    spec.parallelism,
+                    self.placements[name],
+                    self.meter,
+                    options.batch_size,
+                    options.max_tuples_per_instance,
+                )
+                continue
+            probe = spec.factory()
+            input_names = [s.name for s in in_streams]
+            if _count_fast_path(probe, in_streams):
+                # in_edge is attached after edges are built below.
+                self.ops[name] = _VectorCountOp(
+                    name,
+                    input_names,
+                    spec.parallelism,
+                    probe.forwards,
+                    in_edge=None,
+                )
+            else:
+                self.ops[name] = _ScalarBoltOp(
+                    name,
+                    input_names,
+                    spec.factory,
+                    spec.parallelism,
+                    self.placements[name],
+                    options.costs.tuple_header_bytes,
+                )
+
+        for stream in topology.streams:
+            kind, d = _edge_kind(stream.grouping)
+            dst_spec = topology.operator(stream.dst)
+            edge = _VectorEdge(
+                stream.name,
+                kind,
+                getattr(stream.grouping, "key_fn", None),
+                getattr(stream.grouping, "key_spec", None),
+                stable_hash(stream.name),
+                dst_spec.parallelism,
+                getattr(stream.grouping, "initial_table", None),
+                d,
+                self.placements[stream.src],
+                self.placements[stream.dst],
+                self.meter,
+            )
+            self.edges_by_stream[stream.name] = edge
+            dst_op = self.ops[stream.dst]
+            if isinstance(dst_op, _VectorCountOp):
+                dst_op.in_edge = edge
+            phys_edges.append(
+                PhysicalEdge(
+                    stream.name,
+                    self.ops[stream.src],
+                    dst_op,
+                    dst_op.input_names.index(stream.name),
+                    transform=edge,
+                )
+            )
+
+        self.plan = PhysicalPlan(list(self.ops.values()), phys_edges)
+        self._pending = sorted(options.actions, key=lambda a: a.at_tuples)
+
+    # -- scripted reconfiguration --------------------------------------
+
+    def _emitted(self) -> int:
+        return sum(
+            source.stats.tuples_out for source in self.plan.sources()
+        )
+
+    def _on_round(self, _plan) -> None:
+        while self._pending and self._emitted() >= self._pending[0].at_tuples:
+            self._apply(self._pending.pop(0))
+
+    def _apply(self, action) -> None:
+        try:
+            edge = self.edges_by_stream[action.stream]
+        except KeyError:
+            raise DeploymentError(
+                f"reconfigure action names unknown stream "
+                f"{action.stream!r}; one of "
+                f"{sorted(self.edges_by_stream)}"
+            ) from None
+        if edge.kind not in ("table", "hash"):
+            raise DeploymentError(
+                f"scripted reconfiguration requires a deterministic "
+                f"keyed stream; {action.stream!r} is {edge.kind!r}"
+            )
+        dst = next(
+            s.dst
+            for s in self.topology.streams
+            if s.name == action.stream
+        )
+        new_width = action.parallelism
+        if new_width is not None:
+            self.widths[dst] = new_width
+            consumer = self.ops[dst]
+            consumer.resize(new_width)
+        edge.rebuild(action.table, new_width)
+        consumer = self.ops[dst]
+        if isinstance(consumer, _VectorCountOp):
+            consumer.migrate(edge.owner_of_ids())
+        elif isinstance(consumer, _ScalarBoltOp):
+            consumer.migrate(lambda key: edge._resolve(key))
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self) -> float:
+        start = time.perf_counter()
+        self.plan.execute(on_round=self._on_round)
+        while self._pending:
+            self._apply(self._pending.pop(0))
+        return time.perf_counter() - start
+
+
+def run_vectorized(topology: Topology, options) -> "BackendResult":
+    from repro.engine.backends import BackendResult
+
+    run = _VectorizedRun(topology, options)
+    wall = run.execute()
+
+    stream_locality: Dict[str, float] = {}
+    local_sum = 0
+    total_sum = 0
+    for name, edge in run.edges_by_stream.items():
+        stream_locality[name] = edge.locality()
+        local_sum += edge.local_tuples
+        total_sum += edge.total_tuples
+
+    processed: Dict[str, int] = {}
+    received: Dict[str, List[int]] = {}
+    load_balance: Dict[str, float] = {}
+    per_key_totals: Dict[str, Dict[Any, int]] = {}
+    key_instances: Dict[str, Dict[Any, Tuple[int, ...]]] = {}
+    for op in run.topology.bolts:
+        phys = run.ops[op.name]
+        processed[op.name] = phys.stats.tuples_in
+        width = run.widths[op.name]
+        counts = np.zeros(width, dtype=np.int64)
+        for stream in run.topology.inputs_of(op.name):
+            edge = run.edges_by_stream[stream.name]
+            counts[: len(edge.received)] += edge.received[:width]
+        received[op.name] = [int(c) for c in counts]
+        mean = counts.mean() if width else 0.0
+        load_balance[op.name] = (
+            float(counts.max() / mean) if mean else 1.0
+        )
+        if hasattr(phys, "per_key_totals"):
+            totals = phys.per_key_totals()
+            if totals:
+                per_key_totals[op.name] = totals
+                key_instances[op.name] = phys.key_instances()
+
+    emitted = run._emitted()
+    total_processed = sum(processed.values())
+    return BackendResult(
+        backend="vectorized",
+        wall_s=wall,
+        sim_s=run.meter.sim_s(),
+        tuples_emitted=emitted,
+        processed=processed,
+        tuples_per_s=total_processed / wall if wall > 0 else 0.0,
+        locality=(local_sum / total_sum) if total_sum else 1.0,
+        stream_locality=stream_locality,
+        load_balance=load_balance,
+        received=received,
+        per_key_totals=per_key_totals,
+        key_instances=key_instances,
+        op_stats={
+            name: op.stats.as_dict() for name, op in run.ops.items()
+        },
+        fingerprint=None,
+        handle=run,
+    )

@@ -342,6 +342,9 @@ class FieldsGrouping(Grouping):
 
     def __init__(self, key: KeySpec) -> None:
         self.key_fn = normalize_key_fn(key)
+        #: the raw key spec (field index or callable) — batch backends
+        #: use index equality to prove two key functions identical
+        self.key_spec = key
 
     def build_router(self, context: RouterContext) -> Router:
         return _HashFieldsRouter(
@@ -460,6 +463,7 @@ class TableFieldsGrouping(Grouping):
 
     def __init__(self, key: KeySpec, table=None) -> None:
         self.key_fn = normalize_key_fn(key)
+        self.key_spec = key
         self.initial_table = table
 
     def build_router(self, context: RouterContext) -> TableRouter:
@@ -698,6 +702,7 @@ class PartialKeyGrouping(Grouping):
         if d < 2:
             raise RoutingError(f"d must be >= 2, got {d}")
         self.key_fn = normalize_key_fn(key)
+        self.key_spec = key
         self.d = d
 
     def build_router(self, context: RouterContext) -> Router:

@@ -164,8 +164,20 @@ class CountBolt(StatefulBolt):
         else:
             index = key
             self._key_fn = lambda values: values[index]
+        #: the raw key spec (index or callable) — batch backends use
+        #: index equality to match the count key to a routing key
+        self.key_spec = key
         self._forward = forward
         self.processed = 0
+
+    @property
+    def forwards(self) -> bool:
+        """Whether processed tuples are re-emitted downstream."""
+        return self._forward
+
+    def key_of(self, values: tuple):
+        """The counted key of one value tuple."""
+        return self._key_fn(values)
 
     def process(self, tup, context: OperatorContext) -> None:
         key = self._key_fn(tup.values)

@@ -1,0 +1,326 @@
+"""The physical-operator seam: pluggable execution backends.
+
+The topology layer (:mod:`repro.engine.topology`) describes *what* to
+compute; this module defines the contract for *how* a backend executes
+it. A backend compiles a :class:`~repro.engine.topology.Topology` into
+a DAG of :class:`PhysicalOperator` instances — push input with
+``add_input``, signal exhaustion with ``input_done``, pull output with
+``has_next``/``get_next`` — driven to quiescence by a
+:class:`PhysicalPlan`. The shape follows the streaming-executor seam
+popularized by Ray Data: operators never block, per-operator
+:class:`OpStats` are maintained by the base class, and completion is an
+explicit protocol (all inputs done *and* all buffered output flushed),
+so the same plan driver works for any backend.
+
+Two backends ship against this seam (see :mod:`repro.engine.backends`):
+
+- ``reference`` — an adapter over the existing discrete-event
+  simulator. It does not route through :class:`PhysicalOperator` at
+  all: the DES executors stay byte-identical (same event fingerprints)
+  and serve as the correctness oracle.
+- ``vectorized`` — batches tuples into numpy columns and resolves
+  routing per *batch* instead of per tuple (DESIGN.md §15).
+
+Data moves between physical operators as :class:`TupleBatch` — a
+columnar micro-batch: the Python value tuples ride along (operators
+that need raw values still get them), while the per-tuple key ids,
+modeled payload sizes and source instances live in numpy arrays so
+routing, counting and cost accounting are O(batch) array ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import DeploymentError
+
+
+@dataclass
+class OpStats:
+    """Per-operator execution counters, maintained by the base class."""
+
+    batches_in: int = 0
+    batches_out: int = 0
+    tuples_in: int = 0
+    tuples_out: int = 0
+    #: wall-clock seconds spent inside the operator (backends that
+    #: model time instead record modeled seconds here)
+    busy_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batches_in": float(self.batches_in),
+            "batches_out": float(self.batches_out),
+            "tuples_in": float(self.tuples_in),
+            "tuples_out": float(self.tuples_out),
+            "busy_s": self.busy_s,
+        }
+
+
+class TupleBatch:
+    """A columnar micro-batch of tuples flowing between physical ops.
+
+    Attributes
+    ----------
+    values:
+        The raw value tuples, in batch order (kept so scalar operators
+        and downstream key extraction can always recover full fidelity).
+    src_instances:
+        Per-tuple producing instance of the upstream logical operator
+        (numpy ``int64`` array, or None for spout output batches built
+        by a single instance — see ``src_instance``).
+    dst_instances:
+        Per-tuple destination instance, filled in by the edge router
+        before the batch is handed to the consumer (None until routed).
+    sizes:
+        Modeled payload bytes per tuple, header included (None until a
+        backend that accounts bytes computes them).
+    key_ids:
+        Per-tuple key ids under the producing edge's key vocabulary
+        (numpy ``int64``), attached by vectorized edge routers so a
+        consumer counting the same key never re-extracts it.
+    """
+
+    __slots__ = (
+        "values",
+        "src_instances",
+        "dst_instances",
+        "sizes",
+        "key_ids",
+    )
+
+    def __init__(
+        self,
+        values: Sequence[tuple],
+        src_instances=None,
+        dst_instances=None,
+        sizes=None,
+        key_ids=None,
+    ) -> None:
+        self.values = values
+        self.src_instances = src_instances
+        self.dst_instances = dst_instances
+        self.sizes = sizes
+        self.key_ids = key_ids
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"TupleBatch({len(self.values)} tuples)"
+
+
+class PhysicalOperator:
+    """One node of a compiled physical plan.
+
+    Lifecycle (enforced by :class:`PhysicalPlan`):
+
+    1. upstream pushes batches via :meth:`add_input` (``input_index``
+       identifies which input stream, in ``input_names`` order);
+    2. upstream exhaustion arrives via :meth:`input_done`;
+    3. the driver drains :meth:`get_next` while :meth:`has_next`;
+    4. once every input is done and the operator has flushed whatever
+       it buffered, :attr:`completed` flips true.
+
+    Subclasses implement :meth:`_process` (consume one input batch,
+    buffer zero or more output batches) and optionally :meth:`_flush`
+    (emit whatever is held back once all inputs are done — the
+    completion/flush half of the protocol).
+    """
+
+    def __init__(self, name: str, input_names: Sequence[str]) -> None:
+        self.name = name
+        self.input_names = list(input_names)
+        self.stats = OpStats()
+        self._inputs_done = [False] * len(self.input_names)
+        self._out: List[TupleBatch] = []
+        self._flushed = False
+
+    # -- push side ------------------------------------------------------
+
+    def add_input(self, batch: TupleBatch, input_index: int = 0) -> None:
+        """Accept one input batch from upstream ``input_index``."""
+        if self._inputs_done and self._inputs_done[input_index]:
+            raise DeploymentError(
+                f"operator {self.name!r} got a batch on input "
+                f"{input_index} after input_done"
+            )
+        self.stats.batches_in += 1
+        self.stats.tuples_in += len(batch)
+        self._process(batch, input_index)
+
+    def input_done(self, input_index: int = 0) -> None:
+        """Upstream ``input_index`` will push no more batches."""
+        self._inputs_done[input_index] = True
+        if all(self._inputs_done) and not self._flushed:
+            self._flushed = True
+            self._flush()
+
+    # -- pull side ------------------------------------------------------
+
+    def has_next(self) -> bool:
+        """Whether a buffered output batch is ready."""
+        return bool(self._out)
+
+    def get_next(self) -> TupleBatch:
+        """Pop the next buffered output batch."""
+        batch = self._out.pop(0)
+        self.stats.batches_out += 1
+        self.stats.tuples_out += len(batch)
+        return batch
+
+    @property
+    def completed(self) -> bool:
+        """All inputs done, internal state flushed, output drained."""
+        return self._flushed and not self._out
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _process(self, batch: TupleBatch, input_index: int) -> None:
+        raise NotImplementedError
+
+    def _flush(self) -> None:
+        """Emit anything held back; default operators buffer nothing."""
+
+    def _emit(self, batch: TupleBatch) -> None:
+        """Buffer one output batch for the driver to pull."""
+        self._out.append(batch)
+
+
+class SourceOperator(PhysicalOperator):
+    """A physical operator with no inputs that generates batches.
+
+    Subclasses implement :meth:`_poll`, returning the next output batch
+    or ``None`` when exhausted. The plan driver polls sources until
+    they report exhaustion, then cascades ``input_done`` downstream.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, input_names=())
+        self._exhausted = False
+
+    def poll(self) -> Optional[TupleBatch]:
+        """Produce the next batch, or None once the source is dry."""
+        if self._exhausted:
+            return None
+        batch = self._poll()
+        if batch is None:
+            self._exhausted = True
+            if not self._flushed:
+                self._flushed = True
+                self._flush()
+            return None
+        self.stats.batches_out += 1
+        self.stats.tuples_out += len(batch)
+        return batch
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def _poll(self) -> Optional[TupleBatch]:
+        raise NotImplementedError
+
+    def _process(self, batch: TupleBatch, input_index: int) -> None:
+        raise DeploymentError(f"source {self.name!r} takes no input")
+
+
+@dataclass
+class PhysicalEdge:
+    """One DAG edge of a physical plan: which operator feeds which
+    input slot of which consumer, under which stream name."""
+
+    stream_name: str
+    src: PhysicalOperator
+    dst: PhysicalOperator
+    dst_input_index: int
+    #: hook applied to every batch crossing the edge (routing,
+    #: byte/locality accounting); identity when None
+    transform: Optional[Any] = None
+
+
+class PhysicalPlan:
+    """A compiled physical DAG plus the driver that runs it.
+
+    The driver is deliberately simple and deterministic: it walks
+    operators in topological order, polls sources, pushes every
+    produced batch through its out-edges (applying the edge transform —
+    typically the vectorized router), and repeats until every source is
+    exhausted and every operator has completed. Determinism matters:
+    cross-backend equivalence tests compare against the DES oracle.
+    """
+
+    def __init__(
+        self,
+        operators: Sequence[PhysicalOperator],
+        edges: Sequence[PhysicalEdge],
+    ) -> None:
+        self.operators = list(operators)
+        self.edges = list(edges)
+        self._out_edges: Dict[int, List[PhysicalEdge]] = {}
+        for edge in self.edges:
+            self._out_edges.setdefault(id(edge.src), []).append(edge)
+
+    def out_edges(self, op: PhysicalOperator) -> List[PhysicalEdge]:
+        return self._out_edges.get(id(op), [])
+
+    def sources(self) -> List[SourceOperator]:
+        return [
+            op for op in self.operators if isinstance(op, SourceOperator)
+        ]
+
+    def _push(self, op: PhysicalOperator, batch: TupleBatch) -> None:
+        """Deliver one produced batch across all of ``op``'s edges,
+        then drain any output it caused, depth-first."""
+        for edge in self.out_edges(op):
+            out = batch
+            if edge.transform is not None:
+                out = edge.transform(out)
+            edge.dst.add_input(out, edge.dst_input_index)
+            while edge.dst.has_next():
+                self._push(edge.dst, edge.dst.get_next())
+
+    def _cascade_done(self, op: PhysicalOperator) -> None:
+        for edge in self.out_edges(op):
+            edge.dst.input_done(edge.dst_input_index)
+            while edge.dst.has_next():
+                self._push(edge.dst, edge.dst.get_next())
+            if edge.dst.completed:
+                self._cascade_done(edge.dst)
+
+    def execute(self, on_round=None) -> None:
+        """Run every source dry and flush the whole DAG.
+
+        ``on_round(plan)`` fires after each full pass over the live
+        sources, with no batch in flight — the quiescent points where a
+        backend may apply scripted reconfigurations (table swaps,
+        rescales) without splitting a batch across two routing epochs.
+        """
+        sources = self.sources()
+        live = list(sources)
+        while live:
+            still = []
+            for source in live:
+                batch = source.poll()
+                if batch is not None:
+                    self._push(source, batch)
+                    still.append(source)
+                else:
+                    self._cascade_done(source)
+            live = still
+            if on_round is not None:
+                on_round(self)
+        for op in self.operators:
+            if not op.completed:
+                raise DeploymentError(
+                    f"plan finished with operator {op.name!r} incomplete "
+                    f"(buffered output or missing input_done)"
+                )
+
+    def stats(self) -> Dict[str, OpStats]:
+        return {op.name: op.stats for op in self.operators}
+
+    def iter_stats(self) -> Iterator[Any]:
+        for op in self.operators:
+            yield op.name, op.stats

@@ -85,16 +85,18 @@ class SpaceSaving:
             raise ValueError(f"weight must be >= 1, got {weight}")
         self._n += weight
         summary = self._summary
-        if item in summary:
-            summary.increment(item, weight)
-        elif not summary.full:
-            summary.insert(item, count=weight, error=0)
-        else:
-            # Replace the least-frequent monitored item: the newcomer
-            # inherits its count as error (it may have occurred up to
-            # min_count times before being monitored).
-            _, min_count = summary.evict_min()
-            summary.insert(item, count=min_count + weight, error=min_count)
+        if summary.increment_if_present(item, weight) is None:
+            if not summary.full:
+                summary.insert(item, count=weight, error=0)
+            else:
+                # Replace the least-frequent monitored item: the
+                # newcomer inherits its count as error (it may have
+                # occurred up to min_count times before being
+                # monitored).
+                min_count = summary.min_count()
+                summary.replace_min(
+                    item, count=min_count + weight, error=min_count
+                )
 
     def clear(self) -> None:
         """Reset the sketch, as done after each reconfiguration so that

@@ -156,16 +156,118 @@ class StreamSummary:
         """Add ``weight`` to a monitored item's count; return the new count."""
         if weight < 1:
             raise ValueError(f"weight must be >= 1, got {weight}")
-        node = self._nodes[item]
+        return self._bump(self._nodes[item], weight)
+
+    def increment_if_present(self, item: Hashable, weight: int = 1):
+        """Like :meth:`increment`, but return ``None`` (instead of
+        raising) when ``item`` is not monitored.
+
+        The single ``dict.get`` replaces the membership-test-then-
+        increment double lookup of the sketch's hot path.
+        """
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        node = self._nodes.get(item)
+        if node is None:
+            return None
+        return self._bump(node, weight)
+
+    def _bump(self, node: _Node, weight: int) -> int:
+        """Move ``node`` to the bucket for its incremented count.
+
+        The unit-increment case (the SpaceSaving hot path) never needs
+        the generic bucket walk: the target is either the immediately
+        next bucket (equal count) or a fresh bucket right after the
+        current one — and when the node is alone in its bucket, the
+        bucket is retagged or merged in place with zero link traffic.
+        """
         old_bucket = node.bucket
-        assert old_bucket is not None
         new_count = old_bucket.count + weight
+        nxt = old_bucket.next
+        if nxt is None or nxt.count >= new_count:
+            prev_node = node.prev
+            next_node = node.next
+            if prev_node is None and next_node is None:
+                # Singleton bucket: merge into the next bucket when the
+                # counts collide, otherwise just retag it in place (the
+                # ascending order is preserved: prev.count < old count
+                # < new_count <= next.count).
+                if nxt is not None and nxt.count == new_count:
+                    prev_bucket = old_bucket.prev
+                    if prev_bucket is not None:
+                        prev_bucket.next = nxt
+                    else:
+                        self._min_bucket = nxt
+                    nxt.prev = prev_bucket
+                    old_bucket.prev = None
+                    old_bucket.next = None
+                    node.bucket = nxt
+                    head = nxt.head
+                    node.next = head
+                    if head is not None:
+                        head.prev = node
+                    nxt.head = node
+                else:
+                    old_bucket.count = new_count
+                return new_count
+            # Detach (inlined: the node list is only prepended to).
+            if prev_node is not None:
+                prev_node.next = next_node
+            else:
+                old_bucket.head = next_node
+            if next_node is not None:
+                next_node.prev = prev_node
+            node.prev = None
+            if nxt is not None and nxt.count == new_count:
+                target = nxt
+            else:
+                target = self._insert_bucket_after(old_bucket, new_count)
+            node.bucket = target
+            head = target.head
+            node.next = head
+            if head is not None:
+                head.prev = node
+            target.head = node
+            return new_count
+        # Weighted jump across several buckets: generic walk.
         old_bucket.detach(node)
         target = self._find_or_create_bucket(new_count, start=old_bucket)
         target.attach(node)
         if old_bucket.empty:
             self._remove_bucket(old_bucket)
         return new_count
+
+    def replace_min(
+        self, item: Hashable, count: int, error: int
+    ) -> Tuple[Hashable, int]:
+        """Evict the least-frequent item and monitor ``item`` in its
+        node's place; return ``(evicted_item, evicted_count)``.
+
+        Equivalent to ``evict_min()`` followed by ``insert(item, count,
+        error)`` (``count`` must be at least the evicted count plus one)
+        but reuses the evicted node and its bucket position, so the
+        SpaceSaving replacement step costs one :meth:`_bump` instead of
+        a node allocation plus a bucket search from the minimum.
+        """
+        bucket = self._min_bucket
+        if bucket is None or bucket.head is None:
+            raise KeyError("StreamSummary is empty")
+        if item in self._nodes:
+            raise ValueError(f"item {item!r} already monitored")
+        node = bucket.head
+        min_count = bucket.count
+        if count <= min_count:
+            raise ValueError(
+                f"replacement count {count} must exceed the evicted "
+                f"count {min_count}"
+            )
+        del self._nodes[node.item]
+        evicted = node.item
+        node.item = item
+        node.error = error
+        self._nodes[item] = node
+        self._bump(node, count - min_count)
+        return evicted, min_count
 
     def evict_min(self) -> Tuple[Hashable, int]:
         """Remove and return ``(item, count)`` of the least-frequent item."""

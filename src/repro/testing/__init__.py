@@ -16,6 +16,11 @@ simulator into a correctness tool with three layers:
   (topology shape, workload, fault plan) derives from one seed through
   the :class:`~repro.testing.rng.RngTree`; violations write a repro
   bundle.
+- :mod:`~repro.testing.equivalence` — cross-backend equivalence: the
+  vectorized fast path (DESIGN.md §15) must match the DES reference on
+  per-key totals, routing decisions and locality/balance within
+  tolerance; same-seed reference fingerprints must stay byte-identical
+  to a direct ``deploy``/``run``.
 - :mod:`~repro.testing.bundle` — replayable failures: a bundle embeds
   the seed, config and exact fault plan; replaying it reproduces the
   identical event sequence, certified by the simulator's event
@@ -32,6 +37,12 @@ from repro.testing.bundle import (
     load_bundle,
     replay_bundle,
     write_bundle,
+)
+from repro.testing.equivalence import (
+    EquivalenceReport,
+    compare_backends,
+    reference_fingerprint_unchanged,
+    run_equivalence,
 )
 from repro.testing.episode import (
     INJECTIONS,
@@ -52,6 +63,10 @@ __all__ = [
     "InvariantSuite",
     "Violation",
     "balance_bound",
+    "EquivalenceReport",
+    "compare_backends",
+    "run_equivalence",
+    "reference_fingerprint_unchanged",
     "EpisodeConfig",
     "EpisodeResult",
     "generate_config",

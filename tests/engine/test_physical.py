@@ -1,0 +1,186 @@
+"""Contract tests for the PhysicalOperator seam (DESIGN.md §15).
+
+The seam is what makes backends pluggable, so its lifecycle rules are
+pinned independently of any backend: stats accounting in the base
+class, the completion/flush protocol, input-after-done rejection, and
+the plan driver's quiescent ``on_round`` hook.
+"""
+
+import pytest
+
+from repro.engine.physical import (
+    PhysicalEdge,
+    PhysicalOperator,
+    PhysicalPlan,
+    SourceOperator,
+    TupleBatch,
+)
+from repro.errors import DeploymentError
+
+
+class ListSource(SourceOperator):
+    """Source producing one fixed batch per poll."""
+
+    def __init__(self, name, batches):
+        super().__init__(name)
+        self._batches = list(batches)
+
+    def _poll(self):
+        if not self._batches:
+            return None
+        return self._batches.pop(0)
+
+
+class Passthrough(PhysicalOperator):
+    def _process(self, batch, input_index):
+        self._emit(batch)
+
+
+class HoldAll(PhysicalOperator):
+    """Buffers everything; emits one merged batch only at flush —
+    exercises the completion/flush half of the protocol."""
+
+    def __init__(self, name, input_names):
+        super().__init__(name, input_names)
+        self.held = []
+
+    def _process(self, batch, input_index):
+        self.held.extend(batch.values)
+
+    def _flush(self):
+        self._emit(TupleBatch(list(self.held)))
+
+
+def _batch(*values):
+    return TupleBatch([(v,) for v in values])
+
+
+class TestOperatorLifecycle:
+    def test_stats_track_batches_and_tuples(self):
+        op = Passthrough("p", ["in"])
+        op.add_input(_batch(1, 2, 3))
+        assert op.stats.batches_in == 1
+        assert op.stats.tuples_in == 3
+        assert op.has_next()
+        out = op.get_next()
+        assert len(out) == 3
+        assert op.stats.batches_out == 1
+        assert op.stats.tuples_out == 3
+
+    def test_completed_requires_done_and_drained(self):
+        op = Passthrough("p", ["in"])
+        op.add_input(_batch(1))
+        assert not op.completed  # input not done
+        op.input_done(0)
+        assert not op.completed  # output not drained
+        op.get_next()
+        assert op.completed
+
+    def test_input_after_done_rejected(self):
+        op = Passthrough("p", ["in"])
+        op.input_done(0)
+        with pytest.raises(DeploymentError):
+            op.add_input(_batch(1))
+
+    def test_flush_fires_once_when_all_inputs_done(self):
+        op = HoldAll("h", ["a", "b"])
+        op.add_input(_batch(1), 0)
+        op.add_input(_batch(2), 1)
+        op.input_done(0)
+        assert not op.has_next()  # input b still open
+        op.input_done(1)
+        assert op.has_next()
+        assert sorted(op.get_next().values) == [(1,), (2,)]
+
+    def test_source_exhaustion_flips_once(self):
+        src = ListSource("s", [_batch(1)])
+        first = src.poll()
+        assert first is not None and src.stats.tuples_out == 1
+        assert src.poll() is None
+        assert src.exhausted
+        assert src.poll() is None  # stays exhausted
+        assert src.completed
+
+    def test_source_rejects_input(self):
+        src = ListSource("s", [])
+        with pytest.raises(DeploymentError):
+            src.add_input(_batch(1))
+
+
+class TestPlanDriver:
+    def _linear_plan(self, batches):
+        src = ListSource("s", batches)
+        mid = Passthrough("mid", ["s"])
+        sink = HoldAll("sink", ["mid"])
+        plan = PhysicalPlan(
+            [src, mid, sink],
+            [
+                PhysicalEdge("s->mid", src, mid, 0),
+                PhysicalEdge("mid->sink", mid, sink, 0),
+            ],
+        )
+        return plan, sink
+
+    def test_execute_drains_and_completes(self):
+        plan, sink = self._linear_plan([_batch(1, 2), _batch(3)])
+        plan.execute()
+        assert sink.held == [(1,), (2,), (3,)]
+        assert all(op.completed for op in plan.operators)
+
+    def test_edge_transform_applies_per_batch(self):
+        src = ListSource("s", [_batch(1, 2)])
+        sink = HoldAll("sink", ["s"])
+        doubled = []
+
+        def transform(batch):
+            doubled.append(len(batch))
+            return TupleBatch([(v[0] * 2,) for v in batch.values])
+
+        plan = PhysicalPlan(
+            [src, sink], [PhysicalEdge("e", src, sink, 0, transform)]
+        )
+        plan.execute()
+        assert sink.held == [(2,), (4,)]
+        assert doubled == [2]
+
+    def test_on_round_fires_at_quiescent_points(self):
+        plan, sink = self._linear_plan([_batch(1), _batch(2), _batch(3)])
+        seen = []
+        plan.execute(
+            on_round=lambda p: seen.append(
+                sum(s.stats.tuples_out for s in p.sources())
+            )
+        )
+        # one round per poll pass (3 batches + the exhausting pass)
+        assert seen == [1, 2, 3, 3]
+
+    def test_incomplete_operator_raises(self):
+        src = ListSource("s", [])
+
+        class NeverFlushes(PhysicalOperator):
+            def _process(self, batch, input_index):
+                pass
+
+            def input_done(self, input_index=0):
+                # deliberately breaks protocol: never flushes
+                self._inputs_done[input_index] = True
+
+        sink = NeverFlushes("bad", ["s"])
+        plan = PhysicalPlan([src, sink], [PhysicalEdge("e", src, sink, 0)])
+        with pytest.raises(DeploymentError, match="incomplete"):
+            plan.execute()
+
+    def test_multi_input_fan_in(self):
+        left = ListSource("l", [_batch(1)])
+        right = ListSource("r", [_batch(2), _batch(3)])
+        sink = HoldAll("sink", ["l", "r"])
+        plan = PhysicalPlan(
+            [left, right, sink],
+            [
+                PhysicalEdge("l->sink", left, sink, 0),
+                PhysicalEdge("r->sink", right, sink, 1),
+            ],
+        )
+        plan.execute()
+        assert sorted(sink.held) == [(1,), (2,), (3,)]
+        assert sink.stats.batches_in == 3

@@ -1,0 +1,208 @@
+"""Property tests: vectorized edge routing == scalar routers.
+
+The vectorized backend resolves a route *once per distinct key* into a
+numpy array and gathers per batch; the scalar routers resolve per
+tuple through LRU caches. These properties pin that the two paths are
+the same function:
+
+- table/hash streams: ``_VectorEdge`` routes every key exactly where
+  ``TableRouter`` / ``_HashFieldsRouter`` would, for arbitrary keys,
+  seeds, widths and (partial) tables — including after a table swap;
+- PKG streams: the vectorized candidate arrays equal
+  ``candidate_instances`` and every pick stays inside them;
+- hybrid streams: split keys land inside their member set, tail keys
+  route exactly like the table router;
+- key interning is type-tagged: ``1``, ``1.0`` and ``True`` are equal
+  as dict keys but are distinct routing keys (distinct reprs, hence
+  potentially distinct hashes) — the vocabulary must never alias them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing_table import RoutingTable
+from repro.engine.backends.vectorized import _Meter, _VectorEdge, _Vocab
+from repro.engine.costs import DEFAULT_COSTS
+from repro.engine.grouping import (
+    FieldsGrouping,
+    HybridTableFieldsGrouping,
+    PartialKeyGrouping,
+    RouterContext,
+    TableFieldsGrouping,
+    candidate_instances,
+)
+from repro.engine.physical import TupleBatch
+
+keys_st = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(max_size=8),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.none(),
+)
+
+
+def _edge(kind, n, seed, table=None, d=2, num_servers=2):
+    meter = _Meter(num_servers, DEFAULT_COSTS, bandwidth_gbps=None)
+    placement = np.arange(max(n, 1), dtype=np.int64) % num_servers
+    return _VectorEdge(
+        "prop",
+        kind,
+        key_fn=lambda values: values[0],
+        key_spec=0,
+        seed=seed,
+        num_destinations=n,
+        table=table,
+        d=d,
+        src_placement=placement,
+        dst_placement=placement,
+        meter=meter,
+    )
+
+
+def _context(n, seed):
+    return RouterContext(
+        stream_name="prop",
+        src_instance=0,
+        src_server=0,
+        dst_placements=[0] * n,
+        seed=seed,
+    )
+
+
+def _route_batch(edge, keys):
+    batch = TupleBatch(
+        [(k,) for k in keys],
+        src_instances=np.zeros(len(keys), dtype=np.int64),
+        sizes=np.full(len(keys), 100, dtype=np.int64),
+    )
+    return edge(batch).dst_instances
+
+
+@given(
+    keys=st.lists(keys_st, min_size=1, max_size=40),
+    seed=st.integers(min_value=0, max_value=2**32),
+    n=st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=150, deadline=None)
+def test_hash_edge_matches_scalar_fields_router(keys, seed, n):
+    edge = _edge("hash", n, seed)
+    router = FieldsGrouping(0).build_router(_context(n, seed))
+    dst = _route_batch(edge, keys)
+    for i, key in enumerate(keys):
+        assert [int(dst[i])] == router.select((key,))
+
+
+@given(
+    keys=st.lists(keys_st, min_size=1, max_size=40),
+    seed=st.integers(min_value=0, max_value=2**32),
+    n=st.integers(min_value=2, max_value=9),
+    mapped=st.dictionaries(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=1),
+        max_size=20,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_table_edge_matches_scalar_table_router(keys, seed, n, mapped):
+    # table covers some int keys (instances 0/1, valid for any n >= 2);
+    # everything else exercises the hash fallback path
+    table = RoutingTable(mapped)
+    edge = _edge("table", n, seed, table=table)
+    router = TableFieldsGrouping(0, table=table).build_router(
+        _context(n, seed)
+    )
+    dst = _route_batch(edge, keys)
+    for i, key in enumerate(keys):
+        assert [int(dst[i])] == router.select((key,))
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=-100, max_value=100), min_size=1, max_size=40
+    ),
+    seed=st.integers(min_value=0, max_value=2**32),
+    n=st.integers(min_value=2, max_value=9),
+    mapped=st.dictionaries(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=1),
+        max_size=20,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_table_swap_rebuilds_routes_like_update_table(keys, seed, n, mapped):
+    edge = _edge("table", n, seed, table=None)
+    router = TableFieldsGrouping(0).build_router(_context(n, seed))
+    _route_batch(edge, keys)  # populate vocab + routes under no table
+    table = RoutingTable(mapped)
+    edge.rebuild(table, None)
+    router.update_table(table)
+    dst = _route_batch(edge, keys)
+    for i, key in enumerate(keys):
+        assert [int(dst[i])] == router.select((key,))
+
+
+@given(
+    keys=st.lists(keys_st, min_size=1, max_size=30),
+    seed=st.integers(min_value=0, max_value=2**32),
+    n=st.integers(min_value=2, max_value=9),
+    d=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_pkg_edge_candidates_match_and_contain_picks(keys, seed, n, d):
+    edge = _edge("pkg", n, seed, d=d)
+    dst = _route_batch(edge, keys)
+    for i, key in enumerate(keys):
+        expected = candidate_instances(key, seed, n, d)
+        kid = edge.vocab.memo[(key.__class__, key)]
+        assert tuple(edge.cands[kid]) == expected
+        assert int(dst[i]) in expected
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=60
+    ),
+    seed=st.integers(min_value=0, max_value=2**32),
+    n=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_hybrid_split_containment_and_tail_exactness(keys, seed, n):
+    # key 0 is split over instances {0, 1}; the tail is table/hash
+    table = RoutingTable(
+        {k: k % n for k in range(5)}, splits={0: (0, 1)}
+    )
+    edge = _edge("hybrid", n, seed, table=table)
+    tail_router = TableFieldsGrouping(0, table=table).build_router(
+        _context(n, seed)
+    )
+    dst = _route_batch(edge, keys)
+    for i, key in enumerate(keys):
+        if key == 0:
+            assert int(dst[i]) in (0, 1)
+        else:
+            assert [int(dst[i])] == tail_router.select((key,))
+
+
+def test_vocab_is_type_tagged():
+    vocab = _Vocab()
+    ids, _ = vocab.encode([1, 1.0, True, 1, "1"], "prop")
+    # equal-as-dict-keys values of different types get distinct ids
+    assert ids[0] != ids[1] != ids[2]
+    assert ids[0] == ids[3]
+    assert len(vocab) == 4
+
+
+def test_shuffle_edge_round_robins_per_source_instance():
+    edge = _edge("shuffle", 4, seed=0)
+    batch = TupleBatch(
+        [(i,) for i in range(6)],
+        src_instances=np.full(6, 2, dtype=np.int64),
+        sizes=np.full(6, 100, dtype=np.int64),
+    )
+    first = edge(batch).dst_instances
+    # starts at its source instance index, like _ShuffleRouter
+    assert list(first) == [2, 3, 0, 1, 2, 3]
+    second = edge(batch).dst_instances
+    assert list(second) == [0, 1, 2, 3, 0, 1]

@@ -1,0 +1,265 @@
+"""Cross-backend equivalence: the gate on the vectorized fast path.
+
+Three workload families, each run on both backends from identical
+finite inputs:
+
+- **fig13-quick** (Flickr two-stage counting): per-key totals, key
+  placements and received counts must match *exactly*; locality and
+  balance identically (deterministic routing end to end);
+- **skew** (table / hash / hybrid policies): table and hash are exact;
+  hybrid relaxes placements to member-set containment (the d-choices
+  pick is load-dependent) while totals stay exact;
+- **rescale**: a real DES ``Manager.rescale`` episode vs the same
+  final decision replayed as a scripted ``ReconfigureAction`` — per-key
+  totals exact and every key on its ``owner_of`` placement under the
+  final table.
+
+Plus the seam-inertness check: running the DES through the reference
+adapter must not change same-seed event fingerprints.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Manager, ManagerConfig
+from repro.engine import (
+    Cluster,
+    CountBolt,
+    Simulator,
+    TableFieldsGrouping,
+    TopologyBuilder,
+    deploy,
+)
+from repro.engine.backends import (
+    BackendOptions,
+    ReconfigureAction,
+    available_backends,
+    run_topology,
+)
+from repro.engine.operators import IteratorSpout
+from repro.testing import (
+    compare_backends,
+    reference_fingerprint_unchanged,
+    run_equivalence,
+)
+from repro.workloads.flickr import FlickrWorkload
+from repro.workloads.skew import SkewConfig, SkewWorkload
+
+
+def test_both_backends_registered():
+    assert {"reference", "vectorized"} <= set(available_backends())
+
+
+class TestFig13Quick:
+    @pytest.mark.parametrize("padding", [0, 4000])
+    def test_flickr_pipeline_equivalent(self, padding):
+        workload = FlickrWorkload()
+        report, ref, vec = run_equivalence(
+            lambda: workload.topology(
+                parallelism=4, padding=padding, tuples_per_instance=400
+            ),
+            locality_tol=1e-9,  # deterministic: must match exactly
+            balance_tol=1e-9,
+        )
+        assert report.ok, report.summary()
+        assert ref.per_key_totals["A"] == vec.per_key_totals["A"]
+        assert ref.per_key_totals["B"] == vec.per_key_totals["B"]
+        assert ref.tuples_emitted == vec.tuples_emitted > 0
+
+    def test_batch_size_does_not_change_results(self):
+        workload = FlickrWorkload()
+        make = lambda: workload.topology(
+            parallelism=3, padding=0, tuples_per_instance=300
+        )
+        small = run_topology(
+            make(), "vectorized", BackendOptions(batch_size=7)
+        )
+        large = run_topology(
+            make(), "vectorized", BackendOptions(batch_size=4096)
+        )
+        assert small.per_key_totals == large.per_key_totals
+        assert small.key_instances == large.key_instances
+        assert small.received == large.received
+
+
+class TestSkewPolicies:
+    @pytest.mark.parametrize("policy", ["table", "hash"])
+    def test_deterministic_policies_exact(self, policy):
+        report, _, _ = run_equivalence(
+            lambda: SkewWorkload(
+                SkewConfig(parallelism=4, tuples_per_instance=1500)
+            ).topology(policy),
+            locality_tol=1e-9,
+            balance_tol=1e-9,
+        )
+        assert report.ok, report.summary()
+
+    def test_hybrid_totals_exact_placements_contained(self):
+        config = SkewConfig(parallelism=4, tuples_per_instance=1500)
+        report, ref, vec = run_equivalence(
+            lambda: SkewWorkload(config).topology("hybrid"),
+            exact_placements=False,
+            exact_received=False,
+            locality_tol=0.05,
+            balance_tol=0.15,
+        )
+        assert report.ok, report.summary()
+        # split keys: totals exact, every holder inside the split set
+        split = SkewWorkload(config).split_set()
+        for key, members in split.items():
+            assert ref.per_key_totals["A"][key] == (
+                vec.per_key_totals["A"][key]
+            )
+            assert set(vec.key_instances["A"][key]) <= set(members)
+        # tail keys (never split) must place identically
+        for key, where in ref.key_instances["A"].items():
+            if key not in split:
+                assert vec.key_instances["A"][key] == where
+
+
+SPOUTS = 3
+PER_SPOUT = 3000
+
+
+def _rescale_source(ctx):
+    rng = random.Random(ctx.instance_index)
+    for _ in range(PER_SPOUT):
+        a = rng.randrange(12)
+        yield (a, a + 100)
+
+
+def _rescale_topology(bolts):
+    builder = TopologyBuilder()
+    builder.spout(
+        "S", lambda: IteratorSpout(_rescale_source), parallelism=SPOUTS
+    )
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=bolts,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=bolts,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+class TestRescaleEpisode:
+    def test_scripted_rescale_matches_des_episode(self):
+        # DES side: a real mid-run rescale 2 -> 4 driven by the manager
+        sim = Simulator()
+        cluster = Cluster(sim, 4)
+        deployment = deploy(sim, cluster, _rescale_topology(2))
+        manager = Manager(deployment, ManagerConfig(period_s=None))
+        done = []
+
+        def kick():
+            if not manager.rescale(4, on_complete=done.append):
+                sim.schedule(0.01, kick)
+
+        sim.schedule(0.02, kick)
+        deployment.start()
+        sim.run()
+        assert done, "rescale round never completed"
+        assert manager.tier_parallelism == 4
+
+        # replay the DES's *final decision* as scripted actions
+        table_sa = deployment.executors["S"][0].table_router("S->A")
+        table_ab = deployment.executors["A"][0].table_router("A->B")
+        ref = run_topology(
+            _rescale_topology(2),
+            "reference",
+            BackendOptions(num_servers=4, on_deployed=_attach_rescale),
+        )
+        vec = run_topology(
+            _rescale_topology(2),
+            "vectorized",
+            BackendOptions(
+                num_servers=4,
+                actions=[
+                    ReconfigureAction(
+                        PER_SPOUT, "S->A", table_sa.table, 4
+                    ),
+                    ReconfigureAction(
+                        PER_SPOUT, "A->B", table_ab.table, 4
+                    ),
+                ],
+            ),
+        )
+        report = compare_backends(
+            ref,
+            vec,
+            exact_received=False,  # pre/post-swap split differs
+            locality_tol=1.0,  # locality is epoch-weighting dependent
+            balance_tol=1.0,
+        )
+        assert report.ok, report.summary()
+        # given the same final decision: same totals, same placements
+        assert ref.per_key_totals == vec.per_key_totals
+        assert ref.key_instances == vec.key_instances
+
+
+def _attach_rescale(deployment):
+    sim = deployment.sim
+    manager = Manager(deployment, ManagerConfig(period_s=None))
+    done = []
+
+    def kick():
+        if not manager.rescale(4, on_complete=done.append):
+            sim.schedule(0.01, kick)
+
+    sim.schedule(0.02, kick)
+
+
+class TestSeamInertness:
+    def test_reference_fingerprint_unchanged_by_adapter(self):
+        workload = FlickrWorkload()
+        violation = reference_fingerprint_unchanged(
+            lambda: workload.topology(
+                parallelism=3, padding=0, tuples_per_instance=200
+            )
+        )
+        assert violation is None, violation
+
+
+class TestViolationDetection:
+    """The comparator must actually catch divergence, not just pass."""
+
+    def _results(self):
+        workload = FlickrWorkload()
+        return run_equivalence(
+            lambda: workload.topology(
+                parallelism=3, padding=0, tuples_per_instance=200
+            )
+        )
+
+    def test_perturbed_totals_flagged(self):
+        _, ref, vec = self._results()
+        key = next(iter(vec.per_key_totals["A"]))
+        vec.per_key_totals["A"][key] += 1
+        report = compare_backends(ref, vec)
+        assert any(
+            v.invariant == "per_key_totals" for v in report.violations
+        )
+
+    def test_perturbed_placement_flagged(self):
+        _, ref, vec = self._results()
+        key = next(iter(vec.key_instances["A"]))
+        vec.key_instances["A"][key] = (99,)
+        report = compare_backends(ref, vec)
+        assert any(
+            v.invariant == "key_placements" for v in report.violations
+        )
+
+    def test_perturbed_locality_flagged(self):
+        _, ref, vec = self._results()
+        vec.locality = ref.locality + 0.5
+        report = compare_backends(
+            ref, vec, exact_received=True, locality_tol=0.02
+        )
+        assert any(v.invariant == "locality" for v in report.violations)

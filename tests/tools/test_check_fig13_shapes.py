@@ -1,0 +1,124 @@
+"""tools/check_fig13_shapes.py: the artifact-driven figure-shape gate.
+
+The checker must pass a healthy artifact, flag each broken claim with
+a message naming the cell, refuse non-fig13 artifacts, and surface
+crashed cells instead of skipping them.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+_TOOLS = os.path.join(
+    os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ),
+    "tools",
+)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+import check_fig13_shapes as shapes  # noqa: E402
+
+
+def _cell(
+    cell_id="bandwidth_gbps=1,padding=4000,seed=0",
+    before=40_000.0,
+    after=120_000.0,
+    without=50_000.0,
+    rounds=1.0,
+    bandwidth=1.0,
+    status="ok",
+):
+    return {
+        "id": cell_id,
+        "status": status,
+        "runner": "fig13",
+        "params": {"bandwidth_gbps": bandwidth, "padding": 4000},
+        "metrics": {
+            "before_with_reconf_per_s": before,
+            "after_with_reconf_per_s": after,
+            "after_without_reconf_per_s": without,
+            "reconf_gain": after / without if without else 0.0,
+            "rounds_completed": rounds,
+        },
+    }
+
+
+def test_healthy_artifact_passes():
+    assert shapes.check_fig13_shapes([_cell(), _cell(bandwidth=10.0)]) == []
+
+
+def test_missing_jump_flagged():
+    violations = shapes.check_fig13_shapes([_cell(after=45_000.0)])
+    assert any("jump" in v for v in violations)
+
+
+def test_losing_to_no_reconf_flagged():
+    violations = shapes.check_fig13_shapes(
+        [_cell(after=55_000.0, without=50_000.0)]
+    )
+    assert any("beat" in v for v in violations)
+
+
+def test_slow_network_gain_floor():
+    # jump and win hold (3x before, 1.5x without) but gain < 1.8
+    violations = shapes.check_fig13_shapes(
+        [_cell(before=40_000.0, after=126_000.0, without=80_000.0)]
+    )
+    assert any("1 Gb/s" in v for v in violations)
+    # same numbers on the fast network: no gain-floor claim there
+    assert (
+        shapes.check_fig13_shapes(
+            [
+                _cell(
+                    before=40_000.0,
+                    after=126_000.0,
+                    without=80_000.0,
+                    bandwidth=10.0,
+                )
+            ]
+        )
+        == []
+    )
+
+
+def test_no_rounds_flagged():
+    violations = shapes.check_fig13_shapes([_cell(rounds=0.0)])
+    assert any("round" in v for v in violations)
+
+
+def test_crashed_cell_flagged_not_skipped():
+    violations = shapes.check_fig13_shapes([_cell(status="crash")])
+    assert violations and "crash" in violations[0]
+
+
+def test_wrong_artifact_rejected():
+    row = {"id": "x", "status": "ok", "runner": "fig13", "metrics": {}}
+    violations = shapes.check_fig13_shapes([row])
+    assert any("not a fig13" in v for v in violations)
+
+
+def test_empty_artifact_rejected():
+    assert shapes.check_fig13_shapes([]) == [
+        "no fig13 cells found in the artifact"
+    ]
+
+
+def test_cli_roundtrip(tmp_path):
+    path = tmp_path / "report.jsonl"
+    header = {"schema": "repro.campaign/report-v1", "campaign": "f"}
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        handle.write(json.dumps(_cell()) + "\n")
+    assert shapes.main(["check", str(path)]) == 0
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(_cell(cell_id="bad", after=1.0)) + "\n")
+    assert shapes.main(["check", str(path)]) == 1
+
+
+def test_cli_usage_error():
+    assert shapes.main(["check"]) == 2
+    assert shapes.main(["check", "/nonexistent/report.jsonl"]) == 2

@@ -1,0 +1,139 @@
+"""Assert the Figure 13 paper-claim shapes from a campaign artifact.
+
+``benchmarks/bench_fig13.py`` regenerates the Figure 13 grid in-process
+and asserts the paper's claims on it; ``campaigns/fig13-locality.yaml``
+sweeps the same grid through the campaign orchestrator and records it
+as ``report.jsonl``. This tool closes the loop: the same expected-shape
+assertions run off the recorded artifact, so one campaign run feeds
+both the regression baseline and the figure-shape gate — no second
+sweep, no drift between what was measured and what was asserted.
+
+Shapes checked per fig13 cell (mirroring bench_fig13):
+
+- at least one reconfiguration round completed;
+- the jump: post-reconfiguration throughput exceeds the
+  pre-reconfiguration mean by > 25%;
+- the win: the with-reconfiguration run beats the never-reconfigured
+  run's steady state by > 20%;
+- on the throttled 1 Gb/s network the reconfiguration gain exceeds
+  1.8x (the NIC-bound regime where locality matters most).
+
+Usage::
+
+    python tools/check_fig13_shapes.py results/campaigns/fig13-locality/report.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Iterable, List
+
+#: the bench_fig13 claim thresholds, shared by all checks
+JUMP_RATIO = 1.25
+WIN_RATIO = 1.20
+SLOW_NETWORK_GBPS = 1.0
+SLOW_NETWORK_MIN_GAIN = 1.8
+
+
+def load_cells(path: str) -> List[dict]:
+    """The cell rows of a campaign ``report.jsonl`` (header skipped)."""
+    cells = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("schema"):  # header row
+                continue
+            cells.append(row)
+    return cells
+
+
+def check_fig13_shapes(cells: Iterable[dict]) -> List[str]:
+    """Violation messages for every broken Figure 13 shape claim.
+
+    ``cells`` are campaign report rows from a ``fig13``-runner
+    campaign; non-ok cells are reported as violations too (a crashed
+    cell must not silently pass the shape gate).
+    """
+    violations: List[str] = []
+    checked = 0
+    for cell in cells:
+        cell_id = cell.get("id", "<cell>")
+        if cell.get("runner") not in (None, "fig13"):
+            continue
+        if cell.get("status") != "ok":
+            violations.append(
+                f"{cell_id}: status {cell.get('status')!r}, cannot "
+                f"assert shapes"
+            )
+            continue
+        metrics: Dict[str, float] = cell.get("metrics", {})
+        required = (
+            "before_with_reconf_per_s",
+            "after_with_reconf_per_s",
+            "after_without_reconf_per_s",
+            "rounds_completed",
+        )
+        missing = [key for key in required if key not in metrics]
+        if missing:
+            violations.append(
+                f"{cell_id}: metrics missing {missing} — not a fig13 "
+                f"campaign artifact?"
+            )
+            continue
+        checked += 1
+        before = metrics["before_with_reconf_per_s"]
+        after = metrics["after_with_reconf_per_s"]
+        without = metrics["after_without_reconf_per_s"]
+        if metrics["rounds_completed"] < 1:
+            violations.append(f"{cell_id}: no reconfiguration round ran")
+        if after <= JUMP_RATIO * before:
+            violations.append(
+                f"{cell_id}: no post-reconfiguration jump "
+                f"(after {after:,.0f} <= {JUMP_RATIO} x "
+                f"before {before:,.0f})"
+            )
+        if after <= WIN_RATIO * without:
+            violations.append(
+                f"{cell_id}: reconfiguration does not beat the "
+                f"no-reconfiguration run (after {after:,.0f} <= "
+                f"{WIN_RATIO} x without {without:,.0f})"
+            )
+        bandwidth = cell.get("params", {}).get("bandwidth_gbps")
+        if bandwidth == SLOW_NETWORK_GBPS and without > 0:
+            gain = after / without
+            if gain <= SLOW_NETWORK_MIN_GAIN:
+                violations.append(
+                    f"{cell_id}: gain {gain:.2f}x on the "
+                    f"{SLOW_NETWORK_GBPS:g} Gb/s network (expected "
+                    f"> {SLOW_NETWORK_MIN_GAIN}x)"
+                )
+    if not checked:
+        violations.append("no fig13 cells found in the artifact")
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    try:
+        cells = load_cells(argv[1])
+    except (OSError, ValueError) as exc:
+        print(f"cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    violations = check_fig13_shapes(cells)
+    if violations:
+        print(f"fig13 shape check: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"fig13 shape check: all claims hold across the artifact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -8,9 +8,12 @@ Measures how fast the *engine itself* runs on this machine:
   simulated events/sec and processed tuples/sec of wall clock;
 - **backend axis**: the same finite Fig. 13-shape topology executed
   through ``repro.engine.backends`` on the discrete-event reference
-  backend and on the batched-vectorized fast path (DESIGN.md §15) —
+  backend, on the batched-vectorized fast path (DESIGN.md §15) —
   tuples/sec each, plus the same-machine speedup ratio, gated in-file
-  at ≥ 3x;
+  at ≥ 3x — and on the multiprocess backend (DESIGN.md §16): real
+  worker processes, so its throughput (fork startup included) plus
+  *measured* per-run CPU ns and IPC bytes join the trajectory, with an
+  in-file wall-clock floor instead of a speedup gate;
 - **microbenches**: router ``select`` for the hash, table,
   partial-key and hybrid routers, SpaceSaving ``offer``, and executor
   emission planning;
@@ -145,6 +148,15 @@ def bench_pipeline(reconfigure: bool) -> Dict[str, float]:
 #: trajectory numbers, the ratio is what the suite certifies
 BACKEND_SPEEDUP_FLOOR = 3.0
 
+#: in-file wall-clock floor for the multiprocess backend (tuples/s on
+#: the bench shape, fork startup included). Deliberately loose — the
+#: backend exists for *measured* costs and equivalence, not speed; the
+#: floor only catches a teardown/backpressure collapse that would make
+#: the equivalence campaign crawl. Once the trajectory has a few
+#: points, the ``backend_multiprocess_tuples_per_s`` metric is also
+#: baseline-gated like every other ``*_per_s`` rate.
+MP_BACKEND_FLOOR_TUPLES_PER_S = 500.0
+
 
 def _backend_run(backend: str, tuples_per_instance: int):
     from repro.engine.backends import BackendOptions, run_topology
@@ -184,7 +196,35 @@ def bench_backends() -> Dict[str, float]:
         metrics["backend_vectorized_tuples_per_s"]
         / metrics["backend_reference_tuples_per_s"]
     )
+    metrics.update(bench_multiprocess_backend(tuples, repeats))
     return metrics
+
+
+def bench_multiprocess_backend(
+    tuples: int, repeats: int
+) -> Dict[str, float]:
+    """The multiprocess backend (DESIGN.md §16) on the same bench
+    shape: wall-clock tuples/sec with fork startup included, plus the
+    run's *measured* costs — worker CPU ns and bytes actually pickled
+    across inter-process queues. The cost metrics are unsuffixed
+    (informational trajectory): they have no modeled counterpart to
+    regress against, and IPC bytes are a property of the topology's
+    locality, not of machine speed."""
+    best = None
+    for _ in range(repeats):
+        result = _backend_run("multiprocess", tuples)
+        if best is None or result.wall_s < best.wall_s:
+            best = result
+    measured = best.measured or {}
+    return {
+        "backend_multiprocess_tuples_per_s": best.tuples_per_s,
+        "backend_multiprocess_cpu_ns": float(
+            measured.get("cpu_ns_total", 0)
+        ),
+        "backend_multiprocess_ipc_bytes": float(
+            measured.get("ipc_bytes_total", 0)
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +569,10 @@ def _format_value(key: str, value: float) -> str:
         return f"{value:.2f}x"
     if key.endswith(("_bytes_per_key", "_bytes_per_round")):
         return f"{value:,.1f} B"
+    if key.endswith("_bytes"):
+        return f"{value:,.0f} B"
+    if key.endswith("_ns"):
+        return f"{value:,.0f} ns"
     if key.endswith("_rate"):
         return f"{value:.2e}"
     return f"{value:+.2%}"
@@ -629,6 +673,29 @@ def test_vectorized_backend_speedup_gate():
         f"vectorized backend is only {speedup:.2f}x the reference DES "
         f"(floor {BACKEND_SPEEDUP_FLOOR:.1f}x)"
     )
+
+
+def test_multiprocess_backend_wall_clock_floor():
+    """The multiprocess backend (DESIGN.md §16) must clear a sane
+    wall-clock floor on the bench shape and report non-degenerate
+    measured costs. No speedup gate — real processes exist for
+    measurement fidelity, not throughput — but a collapse below the
+    floor means teardown/backpressure went wrong and the equivalence
+    campaign would crawl."""
+    metrics = bench_multiprocess_backend(
+        tuples=500 if _quick() else 1_000, repeats=1
+    )
+    print()
+    print(_format(metrics))
+    rate = metrics["backend_multiprocess_tuples_per_s"]
+    assert rate >= MP_BACKEND_FLOOR_TUPLES_PER_S, (
+        f"multiprocess backend ran at {rate:,.0f} tuples/s "
+        f"(floor {MP_BACKEND_FLOOR_TUPLES_PER_S:,.0f}/s)"
+    )
+    # Measured costs must be real: CPU was burned, and the 6-server
+    # bench shape cannot be 100 % local, so bytes crossed queues.
+    assert metrics["backend_multiprocess_cpu_ns"] > 0
+    assert metrics["backend_multiprocess_ipc_bytes"] > 0
 
 
 def test_elasticity_seams_overhead_within_budget():

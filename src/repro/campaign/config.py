@@ -5,7 +5,7 @@ also valid YAML) with this shape::
 
     campaign: matrix-quick          # slug; names the report directory
     description: one-line intent    # optional, shown in the report
-    runner: episode                 # episode | fig13 | skew
+    runner: episode                 # see RUNNER_NAMES below
     matrix:                         # axes crossed into cells
       hybrid: [false, true]
       rescale: [false, true]
@@ -38,7 +38,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 #: runner names accepted by ``runner:`` (see repro.campaign.runners)
-RUNNER_NAMES = ("episode", "fig13", "skew", "backend")
+RUNNER_NAMES = (
+    "episode",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "skew",
+    "backend",
+)
 
 #: every key a campaign file may set at the top level
 KNOWN_KEYS = {

@@ -24,14 +24,25 @@ Four runners are registered:
     experiment, ported from the ``skew`` figure.
 
 ``backend``
-    Cross-backend equivalence (DESIGN.md §15): run one scenario
-    (``fig13`` / ``skew`` / ``rescale``) on the reference DES and the
-    vectorized fast path from identical finite inputs, compare with
+    Cross-backend equivalence (DESIGN.md §15/§16): run one scenario
+    (``fig13`` / ``skew`` / ``rescale``) on the reference DES and a
+    candidate backend (``candidate: vectorized`` | ``multiprocess``,
+    default vectorized) from identical finite inputs, compare with
     :func:`repro.testing.equivalence.compare_backends`, and report the
     speedup. Any broken invariant lands in the cell's ``violations``
     exactly like an episode-cell invariant breach, so the campaign
-    report gates it. ``backend: reference`` / ``backend: vectorized``
-    run one side only (for timing axes).
+    report gates it. Multiprocess cells additionally report the
+    *measured* per-run CPU ns and inter-process bytes. ``backend:
+    reference`` / ``backend: vectorized`` run one side only (for
+    timing axes).
+
+``fig10`` / ``fig11`` / ``fig12``
+    The trace-sweep grids ported from ``benchmarks/bench_fig1*.py``:
+    the flash-hashtag location/day spread (fig10), one routing mode of
+    the 25-week locality/balance sweep (fig11), and one
+    (budget, parallelism) point of locality-vs-collected-edges
+    (fig12). The paper claims the bench files assert become cell
+    violations; the figure metrics are baseline-tracked.
 
 Every runner returns a :class:`CellOutcome` whose ``metrics`` follow
 the ``tools/bench_record.py`` axis convention (``*_per_s`` higher is
@@ -233,6 +244,126 @@ def run_skew_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
     )
 
 
+def _claim(violations: List[dict], invariant: str, detail: str) -> None:
+    """Record one broken paper claim as a cell violation dict."""
+    violations.append(
+        {"invariant": invariant, "detail": detail, "at_s": 0.0}
+    )
+
+
+def run_fig10_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    """The flash-hashtag spread (bench_fig10): the same tag must peak
+    in multiple locations on multiple days — the reason
+    reconfiguration has to be online."""
+    from repro.analysis.experiments import fig10
+
+    _unknown(params, {"weeks", "quick"}, "fig10")
+    rows = fig10(
+        weeks=int(params.get("weeks", 8)),
+        quick=bool(params.get("quick", True)),
+    )
+    by_location: Dict[str, List[tuple]] = {}
+    for row in rows:
+        by_location.setdefault(row["location"], []).append(
+            (row["day"], row["frequency"])
+        )
+    peak_days = {
+        max(series, key=lambda df: df[1])[0]
+        for series in by_location.values()
+    }
+    violations: List[dict] = []
+    if len(by_location) < 2:
+        _claim(
+            violations,
+            "fig10_multi_location",
+            f"flash tag peaked in {len(by_location)} location(s); "
+            f"the paper's premise needs >= 2",
+        )
+    if len(peak_days) < 2:
+        _claim(
+            violations,
+            "fig10_multi_day",
+            f"flash tag peaked on {len(peak_days)} day(s); "
+            f"the paper's premise needs >= 2",
+        )
+    return CellOutcome(
+        metrics={
+            "locations": float(len(by_location)),
+            "peak_days": float(len(peak_days)),
+            "peak_frequency": float(
+                max(row["frequency"] for row in rows)
+            ),
+        },
+        violations=violations,
+    )
+
+
+def run_fig11_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    """One routing mode of the weekly locality/balance sweep
+    (bench_fig11). Cross-mode claims (online beats hash, offline
+    decays) live in the baseline-tracked per-mode metrics."""
+    from repro.analysis.experiments import fig11
+
+    _unknown(
+        params,
+        {"mode", "weeks", "num_servers", "sketch_capacity", "quick"},
+        "fig11",
+    )
+    mode = str(params["mode"])
+    kwargs: Dict[str, Any] = {"quick": bool(params.get("quick", True))}
+    for name in ("weeks", "num_servers", "sketch_capacity"):
+        if name in params:
+            kwargs[name] = int(params[name])
+    rows = [r for r in fig11(**kwargs) if r["mode"] == mode]
+    if not rows:
+        raise ValueError(f"fig11 runner: unknown mode {mode!r}")
+    locality = [r["locality"] for r in rows]
+    balance = [r["load_balance"] for r in rows]
+    return CellOutcome(
+        metrics={
+            "mean_locality": sum(locality) / len(locality),
+            "late_locality": sum(locality[-3:]) / len(locality[-3:]),
+            "mean_balance": sum(balance) / len(balance),
+            "weeks": float(len(rows)),
+        }
+    )
+
+
+def run_fig12_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
+    """One (edge budget, parallelism) point of locality-vs-collected-
+    edges (bench_fig12). ``budget: 0`` means unlimited (YAML axis
+    values must be scalars, so None is spelled 0)."""
+    from repro.analysis.experiments import fig12
+
+    _unknown(params, {"budget", "parallelism", "quick"}, "fig12")
+    budget = int(params["budget"])
+    parallelism = int(params.get("parallelism", 6))
+    (row,) = fig12(
+        edge_budgets=[budget if budget > 0 else None],
+        parallelisms=[parallelism],
+        quick=bool(params.get("quick", True)),
+    )
+    violations: List[dict] = []
+    if budget > 0 and budget <= 10:
+        # bench_fig12: a tiny budget cannot beat hash by much
+        ceiling = 1.0 / parallelism + 0.15
+        if row["locality"] >= ceiling:
+            _claim(
+                violations,
+                "fig12_tiny_budget_close_to_hash",
+                f"budget {budget} reached locality "
+                f"{row['locality']:.3f} >= {ceiling:.3f}",
+            )
+    return CellOutcome(
+        metrics={
+            "locality": float(row["locality"]),
+            "predicted_locality": float(row["predicted"]),
+            "edges": float(row["edges"]),
+        },
+        violations=violations,
+    )
+
+
 #: scenarios the ``backend`` runner can replay on both backends
 BACKEND_SCENARIOS = ("fig13", "skew", "rescale")
 
@@ -281,9 +412,11 @@ def _backend_topology_factory(
     )
 
 
-def _run_backend_rescale(params: Dict[str, Any], seed: int) -> CellOutcome:
+def _run_backend_rescale(
+    params: Dict[str, Any], seed: int, candidate: str = "vectorized"
+) -> CellOutcome:
     """The rescale scenario: a real DES ``Manager.rescale`` episode,
-    then the same *final decision* replayed on the vectorized backend
+    then the same *final decision* replayed on the candidate backend
     as scripted actions — per-key totals and final placements must
     match exactly (both equal ``owner_of`` under the final table)."""
     import random
@@ -361,34 +494,43 @@ def _run_backend_rescale(params: Dict[str, Any], seed: int) -> CellOutcome:
             after,
         ),
     ]
-    vec = run_topology(
+    cand = run_topology(
         make_topology(),
-        "vectorized",
+        candidate,
         BackendOptions(num_servers=after, actions=actions),
     )
     # swap timing differs between the backends, so locality/received
     # are epoch-weighted differently; totals and placements are exact
     report = compare_backends(
-        ref, vec, exact_received=False, locality_tol=1.0, balance_tol=1.0
+        ref, cand, exact_received=False, locality_tol=1.0, balance_tol=1.0
     )
-    return _backend_outcome(report, ref, vec)
+    return _backend_outcome(report, ref, cand)
 
 
-def _backend_outcome(report, ref, vec) -> CellOutcome:
+def _backend_outcome(report, ref, cand) -> CellOutcome:
     speedup = (
-        vec.tuples_per_s / ref.tuples_per_s if ref.tuples_per_s else 0.0
+        cand.tuples_per_s / ref.tuples_per_s if ref.tuples_per_s else 0.0
     )
+    # wall-clock throughputs deliberately avoid the directed
+    # ``_per_s`` suffix: absolute speed is machine noise in CI; the
+    # same-machine back-to-back speedup ratio is what gets gated.
+    # Metric names carry the candidate backend so a campaign sweeping
+    # ``candidate:`` tracks each backend's speedup separately.
+    metrics = {
+        "reference_throughput": ref.tuples_per_s,
+        f"{cand.backend}_throughput": cand.tuples_per_s,
+        f"{cand.backend}_speedup_x": speedup,
+        "locality_delta": abs(ref.locality - cand.locality),
+        "equivalent": 0.0 if report.violations else 1.0,
+    }
+    if cand.measured:
+        # measured (not modeled) run costs — informational axes
+        metrics["measured_cpu_ns"] = float(cand.measured["cpu_ns_total"])
+        metrics["measured_ipc_bytes"] = float(
+            cand.measured["ipc_bytes_total"]
+        )
     return CellOutcome(
-        # wall-clock throughputs deliberately avoid the directed
-        # ``_per_s`` suffix: absolute speed is machine noise in CI; the
-        # same-machine back-to-back speedup ratio is what gets gated
-        metrics={
-            "reference_throughput": ref.tuples_per_s,
-            "vectorized_throughput": vec.tuples_per_s,
-            "vectorized_speedup_x": speedup,
-            "locality_delta": abs(ref.locality - vec.locality),
-            "equivalent": 0.0 if report.violations else 1.0,
-        },
+        metrics=metrics,
         violations=[v.to_dict() for v in report.violations],
     )
 
@@ -402,6 +544,7 @@ def run_backend_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
         {
             "scenario",
             "backend",
+            "candidate",
             "parallelism",
             "padding",
             "policy",
@@ -417,15 +560,16 @@ def run_backend_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
         params = dict(params, policy=scenario.partition("-")[2])
         scenario = "skew"
     backend = str(params.get("backend", "both"))
+    candidate = str(params.get("candidate", "vectorized"))
     batch_size = int(params.get("batch_size", 2048))
 
     if scenario == "rescale":
         if backend != "both":
             raise ValueError(
                 "backend runner: the rescale scenario always runs both "
-                "backends (the DES decides, the fast path replays)"
+                "backends (the DES decides, the candidate replays)"
             )
-        return _run_backend_rescale(params, seed)
+        return _run_backend_rescale(params, seed, candidate)
 
     factory, strict = _backend_topology_factory(scenario, params, seed)
 
@@ -443,18 +587,22 @@ def run_backend_cell(params: Dict[str, Any], seed: int) -> CellOutcome:
             }
         )
 
-    report, ref, vec = run_equivalence(
+    report, ref, cand = run_equivalence(
         factory,
+        candidate=candidate,
         candidate_options=BackendOptions(batch_size=batch_size),
         locality_tol=0.05 if not strict["exact_placements"] else 1e-9,
         balance_tol=0.15 if not strict["exact_placements"] else 1e-9,
         **strict,
     )
-    return _backend_outcome(report, ref, vec)
+    return _backend_outcome(report, ref, cand)
 
 
 RUNNERS: Dict[str, Callable[[Dict[str, Any], int], CellOutcome]] = {
     "episode": run_episode_cell,
+    "fig10": run_fig10_cell,
+    "fig11": run_fig11_cell,
+    "fig12": run_fig12_cell,
     "fig13": run_fig13_cell,
     "skew": run_skew_cell,
     "backend": run_backend_cell,

@@ -16,6 +16,13 @@ regardless of how the tuples actually moved:
     DESIGN.md §15): tuple batches packed into arrays, routing resolved
     per batch.
 
+``multiprocess``
+    Real OS processes — one worker per simulated server — connected by
+    real ``multiprocessing`` queues
+    (:mod:`repro.engine.backends.multiprocess`, DESIGN.md §16).
+    Per-server CPU time and inter-process bytes are *measured*, not
+    modeled, and land in :attr:`BackendResult.measured`.
+
 Cross-backend equivalence — same per-key totals, same routing
 decisions, locality/balance within tolerance — is the invariant class
 that gates the fast path (:mod:`repro.testing.equivalence`).
@@ -69,13 +76,23 @@ class BackendOptions:
     #: reference only: hook called with the Deployment before start
     #: (attach managers — the rescale equivalence episode uses this)
     on_deployed: Optional[Callable] = None
-    #: vectorized only: tuples per micro-batch
+    #: vectorized/multiprocess: tuples per micro-batch
     batch_size: int = 2048
-    #: vectorized only: cap on tuples pulled per spout instance
+    #: vectorized/multiprocess: cap on tuples pulled per spout instance
     #: (bounds infinite sources; finite sources may end earlier)
     max_tuples_per_instance: Optional[int] = None
-    #: vectorized only: scripted mid-run reconfigurations
+    #: vectorized/multiprocess: scripted mid-run reconfigurations
     actions: List[ReconfigureAction] = field(default_factory=list)
+    #: multiprocess only: wall-clock budget for the whole run; on
+    #: expiry every worker is torn down and a structured error raised
+    mp_timeout_s: float = 120.0
+    #: multiprocess only: capacity (messages) of each worker's inbound
+    #: queue — small values exercise the backpressure path
+    mp_queue_maxsize: int = 64
+    #: multiprocess only: test-only fault injection, e.g.
+    #: ``{"kind": "crash", "server": 1, "after_tuples": 50}`` or
+    #: ``{"kind": "hang", "server": 0, "after_tuples": 50}``
+    mp_fault: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -109,6 +126,13 @@ class BackendResult:
     fingerprint: Optional[int] = None
     #: backend-specific escape hatch (Deployment / compiled plan)
     handle: Any = None
+    #: *measured* (not modeled) costs, populated by backends that run
+    #: on real hardware resources — the multiprocess backend reports
+    #: ``{"per_server": {server: {"cpu_ns", "ipc_tx_bytes",
+    #: "ipc_rx_bytes", "ipc_tx_msgs", "ipc_rx_msgs"}},
+    #: "ipc_bytes_total", "cpu_ns_total"}``. Empty for backends whose
+    #: costs are modeled (reference DES, vectorized).
+    measured: Dict[str, Any] = field(default_factory=dict)
 
 
 _BACKENDS: Dict[str, Callable[[Topology, BackendOptions], BackendResult]] = {}
@@ -151,13 +175,19 @@ def _default_servers(topology: Topology, options: BackendOptions) -> int:
 
 from repro.engine.backends.reference import run_reference  # noqa: E402
 from repro.engine.backends.vectorized import run_vectorized  # noqa: E402
+from repro.engine.backends.multiprocess import (  # noqa: E402
+    MultiprocessBackendError,
+    run_multiprocess,
+)
 
 register_backend("reference", run_reference)
 register_backend("vectorized", run_vectorized)
+register_backend("multiprocess", run_multiprocess)
 
 __all__ = [
     "BackendOptions",
     "BackendResult",
+    "MultiprocessBackendError",
     "ReconfigureAction",
     "available_backends",
     "get_backend",
@@ -165,4 +195,5 @@ __all__ = [
     "run_topology",
     "run_reference",
     "run_vectorized",
+    "run_multiprocess",
 ]

@@ -1,0 +1,1191 @@
+"""The multiprocess backend: real processes, real queues, measured costs.
+
+Every other backend *models* CPU and NIC cost; this one runs the
+topology on real OS resources and **measures** them (DESIGN.md §16):
+
+- one worker process per simulated server, forked from the parent so
+  topology factories (closures included) carry over;
+- each worker hosts the operator *instances placed on its server*
+  (``instance % num_servers``, the same round-robin placement the DES
+  and vectorized backends use) behind worker-local
+  :class:`~repro.engine.physical.PhysicalOperator` shards;
+- routing reuses the **scalar routers** (`grouping.build_router`) with
+  the exact ``RouterContext`` the DES ``deploy`` builds — one router
+  per (stream, source instance), seeded by ``stable_hash(stream.name)``
+  — so table/hash placements are per-tuple identical by construction,
+  and hybrid/PKG routers see each source instance's tuples in the same
+  order as the DES;
+- intra-server edges stay in-process (zero serialized bytes); tuples
+  crossing servers are pickled onto the destination worker's bounded
+  inbound queue, and the serialized length is recorded — locality shows
+  up as a *measured* byte win, not a modeled one;
+- per-server CPU is measured with ``time.process_time_ns()`` in each
+  worker; ``BackendResult.sim_s`` is the busiest worker's CPU seconds
+  and ``BackendResult.measured`` carries the per-server breakdown.
+
+**Termination** rides on per-producer FIFO: every worker broadcasts a
+``DONE(stream)`` marker after the last tuple it will ever send on that
+stream, so a consumer that has collected all producers' markers has
+provably received all data. **Backpressure** is deadlock-free: a
+sender blocked on a full peer queue drains its own inbound queue while
+retrying. **Scripted reconfigurations** replay through a control
+channel with barrier semantics: the coordinator broadcasts the action,
+workers pause their sources and exchange ``FENCE`` markers (flushing
+all in-flight pre-epoch tuples), swap tables / resize / migrate keyed
+state to each key's new owner worker, exchange ``MIG_DONE`` markers
+and resume. **Failure handling** is structured: a crashed or hung
+worker (or an expired ``mp_timeout_s``) tears every process down —
+terminate, join, kill — and raises :class:`MultiprocessBackendError`
+carrying the partial progress, leaving no orphaned children.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.grouping import RouterContext, stable_hash
+from repro.engine.operators import (
+    Bolt,
+    OperatorContext,
+    Spout,
+    StatefulBolt,
+)
+from repro.engine.physical import (
+    PhysicalOperator,
+    SourceOperator,
+    TupleBatch,
+    merge_op_stats,
+)
+from repro.engine.topology import Topology
+from repro.engine.tuples import payload_size
+from repro.errors import DeploymentError
+
+
+class MultiprocessBackendError(DeploymentError):
+    """A multiprocess run failed (crash, hang, timeout, worker error).
+
+    Attributes
+    ----------
+    reason:
+        ``"worker-crash"`` / ``"timeout"`` / ``"worker-error"``.
+    server:
+        The offending worker's server index, when one is known.
+    exitcode:
+        The crashed worker's exit code, when one is known.
+    partial:
+        Progress at teardown: ``{"emitted": {server: n}, "finished":
+        [servers], "results": [servers]}``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str,
+        server: Optional[int] = None,
+        exitcode: Optional[int] = None,
+        partial: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.server = server
+        self.exitcode = exitcode
+        self.partial = partial or {}
+
+
+def _placement(instance: int, num_servers: int) -> int:
+    """Round-robin placement, identical to the DES and vectorized."""
+    return instance % num_servers
+
+
+class _MPTuple:
+    """Value carrier handed to worker-hosted ``Bolt.process``."""
+
+    __slots__ = ("values", "size", "root_id")
+
+    def __init__(self, values: tuple, size: int) -> None:
+        self.values = values
+        self.size = size
+        self.root_id = None
+
+
+class _MPContext(OperatorContext):
+    """Minimal operator context for worker-hosted operator objects."""
+
+    def __init__(
+        self, op_name: str, instance: int, parallelism: int, server: int
+    ) -> None:
+        super().__init__(op_name, instance, parallelism, server, lambda: 0.0)
+
+
+class _ShardSource(SourceOperator):
+    """The spout instances of one logical spout placed on this server.
+
+    Cycles its local instances, producing one single-instance batch per
+    poll — the worker routes each batch through the instance's real
+    scalar routers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        factory,
+        parallelism: int,
+        server: int,
+        num_servers: int,
+        batch_size: int,
+        max_tuples_per_instance: Optional[int],
+        header_bytes: int,
+    ) -> None:
+        super().__init__(name)
+        self.batch_size = batch_size
+        self._header = header_bytes
+        self._spouts: Dict[int, Spout] = {}
+        self._contexts: Dict[int, _MPContext] = {}
+        self._budget: Dict[int, Optional[int]] = {}
+        self.emitted_per_instance: Dict[int, int] = {}
+        self._live: List[int] = []
+        self._cursor = 0
+        for instance in range(parallelism):
+            if _placement(instance, num_servers) != server:
+                continue
+            operator = factory()
+            if not isinstance(operator, Spout):
+                raise DeploymentError(
+                    f"factory of spout {name!r} returned "
+                    f"{type(operator).__name__}, not a Spout"
+                )
+            context = _MPContext(name, instance, parallelism, server)
+            operator.open(context)
+            self._spouts[instance] = operator
+            self._contexts[instance] = context
+            self._budget[instance] = max_tuples_per_instance
+            self.emitted_per_instance[instance] = 0
+            self._live.append(instance)
+
+    def _poll(self) -> Optional[TupleBatch]:
+        while self._live:
+            slot = self._cursor % len(self._live)
+            instance = self._live[slot]
+            values = self._pull(instance)
+            if values:
+                self._cursor = slot + 1
+                header = self._header
+                return TupleBatch(
+                    values,
+                    src_instances=[instance] * len(values),
+                    sizes=[payload_size(v) + header for v in values],
+                )
+            self._live.pop(slot)
+            if self._live:
+                self._cursor = slot % len(self._live)
+        return None
+
+    def _pull(self, instance: int) -> List[tuple]:
+        budget = self._budget[instance]
+        limit = (
+            self.batch_size
+            if budget is None
+            else min(self.batch_size, budget)
+        )
+        if limit <= 0:
+            return []
+        values: List[tuple] = []
+        spout = self._spouts[instance]
+        context = self._contexts[instance]
+        while len(values) < limit:
+            if spout.finished or not spout.next_tuple(context):
+                break
+            values.extend(context._drain())
+        if budget is not None:
+            self._budget[instance] = budget - len(values)
+        self.emitted_per_instance[instance] += len(values)
+        return values
+
+
+class _ShardBolt(PhysicalOperator):
+    """The instances of one logical bolt placed on this server.
+
+    ``add_input`` batches carry per-tuple destination instances; each
+    tuple is processed by the owning local instance and any emissions
+    are buffered as an output batch for the worker to route onward.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_names,
+        factory,
+        parallelism: int,
+        server: int,
+        num_servers: int,
+        header_bytes: int,
+    ) -> None:
+        super().__init__(name, input_names)
+        self._factory = factory
+        self._server = server
+        self._num_servers = num_servers
+        self._header = header_bytes
+        self.parallelism = parallelism
+        self.operators: Dict[int, Bolt] = {}
+        self.contexts: Dict[int, _MPContext] = {}
+        self.received: Dict[int, int] = {}
+        for instance in range(parallelism):
+            if _placement(instance, num_servers) == server:
+                self._spawn(instance)
+
+    def _spawn(self, instance: int) -> None:
+        operator = self._factory()
+        context = _MPContext(
+            self.name, instance, self.parallelism, self._server
+        )
+        operator.open(context)
+        self.operators[instance] = operator
+        self.contexts[instance] = context
+        self.received.setdefault(instance, 0)
+
+    def resize(self, parallelism: int) -> None:
+        """Grow to ``parallelism``, spawning the new local instances."""
+        self.parallelism = max(self.parallelism, parallelism)
+        for instance in range(parallelism):
+            if (
+                _placement(instance, self._num_servers) == self._server
+                and instance not in self.operators
+            ):
+                self._spawn(instance)
+
+    def _process(self, batch: TupleBatch, input_index: int) -> None:
+        start = time.perf_counter()
+        dst = batch.dst_instances
+        sizes = batch.sizes
+        out_values: List[tuple] = []
+        out_src: List[int] = []
+        for index, values in enumerate(batch.values):
+            instance = dst[index]
+            try:
+                operator = self.operators[instance]
+            except KeyError:
+                raise DeploymentError(
+                    f"worker {self._server} got a tuple for "
+                    f"{self.name}[{instance}], which is not placed here"
+                ) from None
+            context = self.contexts[instance]
+            size = sizes[index] if sizes is not None else 0
+            operator.process(_MPTuple(values, size), context)
+            self.received[instance] += 1
+            emitted = context._drain()
+            if emitted:
+                out_values.extend(emitted)
+                out_src.extend([instance] * len(emitted))
+        if out_values:
+            header = self._header
+            self._emit(
+                TupleBatch(
+                    out_values,
+                    src_instances=out_src,
+                    sizes=[payload_size(v) + header for v in out_values],
+                )
+            )
+        self.stats.busy_s += time.perf_counter() - start
+
+    # -- state access (migration + result extraction) -------------------
+
+    def stateful_instances(self):
+        for instance, operator in sorted(self.operators.items()):
+            if isinstance(operator, StatefulBolt):
+                yield instance, operator
+
+    def state_snapshot(self) -> Dict[int, Dict[Any, Any]]:
+        return {
+            instance: dict(operator.state)
+            for instance, operator in self.stateful_instances()
+        }
+
+
+class _StreamConfig:
+    """One stream's mutable routing configuration at a worker: the
+    live table / width / seed that both the per-source routers and the
+    migration owner math read."""
+
+    __slots__ = ("name", "src", "dst", "grouping", "kind", "n", "table", "seed")
+
+    def __init__(self, stream, dst_parallelism: int) -> None:
+        from repro.engine.backends.vectorized import _edge_kind
+        from repro.errors import RoutingError
+
+        self.name = stream.name
+        self.src = stream.src
+        self.dst = stream.dst
+        self.grouping = stream.grouping
+        try:
+            self.kind, _ = _edge_kind(stream.grouping)
+        except RoutingError:
+            # The scalar routers handle every grouping; the kind only
+            # gates scripted reconfiguration (table/hash streams).
+            self.kind = "other"
+        self.n = dst_parallelism
+        self.table = getattr(stream.grouping, "initial_table", None)
+        self.seed = stable_hash(stream.name)
+
+    def owner_of(self, key) -> int:
+        """The key's destination instance under the current table —
+        identical math to ``TableRouter._route``."""
+        table = self.table
+        if table is not None:
+            instance = table.lookup(key)
+            if instance is not None and 0 <= instance < self.n:
+                return instance
+        return stable_hash(key, self.seed) % self.n
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+_POLL_S = 0.05
+
+
+class _Worker:
+    """One server's process: hosts its operator shards, routes locally
+    produced tuples, and speaks the DONE / FENCE / MIGRATE protocol."""
+
+    def __init__(
+        self,
+        server: int,
+        num_servers: int,
+        topology: Topology,
+        options,
+        inboxes,
+        events,
+    ) -> None:
+        self.server = server
+        self.num_servers = num_servers
+        self.topology = topology
+        self.options = options
+        self.inboxes = inboxes
+        self.inbox = inboxes[server]
+        self.events = events
+        self.peers = [s for s in range(num_servers) if s != server]
+
+        self.paused = False
+        self.stopped = False
+        self.finished_sent = False
+        self.emitted_reported = 0
+        self.ipc_tx_bytes = 0
+        self.ipc_rx_bytes = 0
+        self.ipc_tx_msgs = 0
+        self.ipc_rx_msgs = 0
+        #: stream -> [local_tuples, total_tuples] routed by this worker
+        self.stream_counts: Dict[str, List[int]] = {}
+        #: stream -> producers (servers) that declared DONE
+        self.done_from: Dict[str, set] = {}
+        #: epoch -> barrier state
+        self.epochs: Dict[int, dict] = {}
+        #: MIGRATE payloads that arrived before our own resize created
+        #: the target instances (a peer can finish its barrier first)
+        self._pending_migrates: List[Tuple[str, dict]] = []
+
+        fault = options.mp_fault
+        self._fault = None
+        if fault and int(fault.get("server", -1)) == server:
+            self._fault = (
+                str(fault.get("kind", "crash")),
+                int(fault.get("after_tuples", 0)),
+            )
+
+    # -- setup ----------------------------------------------------------
+
+    def setup(self) -> None:
+        topo = self.topology
+        options = self.options
+        header = options.costs.tuple_header_bytes
+        self.widths = {
+            op.name: op.parallelism for op in topo.operators.values()
+        }
+        self.sources: Dict[str, _ShardSource] = {}
+        self.bolts: Dict[str, _ShardBolt] = {}
+        self.streams: Dict[str, _StreamConfig] = {}
+        for name in topo.topological_order():
+            spec = topo.operator(name)
+            in_streams = topo.inputs_of(name)
+            if spec.is_spout:
+                self.sources[name] = _ShardSource(
+                    name,
+                    spec.factory,
+                    spec.parallelism,
+                    self.server,
+                    self.num_servers,
+                    options.batch_size,
+                    options.max_tuples_per_instance,
+                    header,
+                )
+            else:
+                self.bolts[name] = _ShardBolt(
+                    name,
+                    [s.name for s in in_streams],
+                    spec.factory,
+                    spec.parallelism,
+                    self.server,
+                    self.num_servers,
+                    header,
+                )
+        for stream in topo.streams:
+            self.streams[stream.name] = _StreamConfig(
+                stream, self.widths[stream.dst]
+            )
+            self.stream_counts[stream.name] = [0, 0]
+            self.done_from[stream.name] = set()
+        # One real scalar router per (stream, local source instance),
+        # built exactly like the DES deploy().
+        self.routers: Dict[Tuple[str, int], Any] = {}
+        for stream in topo.streams:
+            self._build_routers_for(stream.name)
+
+    def _local_instances_of(self, op_name: str) -> List[int]:
+        if op_name in self.sources:
+            return sorted(self.sources[op_name]._spouts)
+        return sorted(self.bolts[op_name].operators)
+
+    def _build_routers_for(self, stream_name: str) -> None:
+        config = self.streams[stream_name]
+        dst_placements = [
+            _placement(i, self.num_servers) for i in range(config.n)
+        ]
+        for instance in self._local_instances_of(config.src):
+            if (stream_name, instance) in self.routers:
+                continue
+            context = RouterContext(
+                stream_name=stream_name,
+                src_instance=instance,
+                src_server=self.server,
+                dst_placements=dst_placements,
+                seed=config.seed,
+                cache_size=self.options.costs.router_cache_size,
+            )
+            self.routers[(stream_name, instance)] = (
+                config.grouping.build_router(context)
+            )
+
+    # -- messaging ------------------------------------------------------
+
+    def _put(self, server: int, message) -> None:
+        """Put with backpressure: on a full peer queue, drain our own
+        inbound queue (someone may be blocked on *us*) and retry."""
+        box = self.inboxes[server]
+        while True:
+            try:
+                box.put(message, timeout=_POLL_S)
+                return
+            except _queue.Full:
+                self._drain_inbox(block=False)
+
+    def _send_blob(self, server: int, payload: tuple) -> None:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self.ipc_tx_bytes += len(blob)
+        self.ipc_tx_msgs += 1
+        self._put(server, blob)
+
+    def _broadcast(self, message) -> None:
+        for peer in self.peers:
+            self._put(peer, message)
+
+    # -- routing --------------------------------------------------------
+
+    def _route_batch(self, op_name: str, batch: TupleBatch) -> None:
+        """Send one locally produced batch across all of ``op_name``'s
+        output streams: local destinations in-process, remote ones as
+        one pickled message per (server, stream)."""
+        for stream in self.topology.outputs_of(op_name):
+            config = self.streams[stream.name]
+            counts = self.stream_counts[stream.name]
+            local_v: List[tuple] = []
+            local_d: List[int] = []
+            local_s: List[int] = []
+            local_z: List[int] = []
+            remote: Dict[int, List[List[Any]]] = {}
+            routers = self.routers
+            sizes = batch.sizes
+            for index, values in enumerate(batch.values):
+                src_instance = batch.src_instances[index]
+                router = routers[(stream.name, src_instance)]
+                size = sizes[index] if sizes is not None else 0
+                for dst in router.select(values):
+                    counts[1] += 1
+                    dst_server = _placement(dst, self.num_servers)
+                    if dst_server == self.server:
+                        counts[0] += 1
+                        local_v.append(values)
+                        local_d.append(dst)
+                        local_s.append(src_instance)
+                        local_z.append(size)
+                    else:
+                        bucket = remote.setdefault(
+                            dst_server, [[], [], [], []]
+                        )
+                        bucket[0].append(values)
+                        bucket[1].append(dst)
+                        bucket[2].append(src_instance)
+                        bucket[3].append(size)
+            for dst_server, (rv, rd, rs, rz) in sorted(remote.items()):
+                self._send_blob(
+                    dst_server, ("DATA", stream.name, rv, rd, rs, rz)
+                )
+            if local_v:
+                self._deliver(
+                    stream.name,
+                    TupleBatch(
+                        local_v,
+                        src_instances=local_s,
+                        dst_instances=local_d,
+                        sizes=local_z,
+                    ),
+                )
+
+    def _deliver(self, stream_name: str, batch: TupleBatch) -> None:
+        config = self.streams[stream_name]
+        shard = self.bolts[config.dst]
+        shard.add_input(batch, shard.input_names.index(stream_name))
+        while shard.has_next():
+            self._route_batch(config.dst, shard.get_next())
+
+    # -- DONE protocol --------------------------------------------------
+
+    def _mark_stream_done(self, stream_name: str, producer: int) -> None:
+        done = self.done_from[stream_name]
+        if producer in done:
+            return
+        done.add(producer)
+        if len(done) == self.num_servers:
+            self._stream_fully_done(stream_name)
+
+    def _declare_local_done(self, op_name: str) -> None:
+        """This worker will produce no more tuples on ``op_name``'s
+        output streams: broadcast the DONE markers (after all data)."""
+        for stream in self.topology.outputs_of(op_name):
+            self._broadcast(("DONE", stream.name, self.server))
+            self._mark_stream_done(stream.name, self.server)
+
+    def _stream_fully_done(self, stream_name: str) -> None:
+        config = self.streams[stream_name]
+        shard = self.bolts[config.dst]
+        shard.input_done(shard.input_names.index(stream_name))
+        while shard.has_next():
+            self._route_batch(config.dst, shard.get_next())
+        if shard.completed:
+            self._declare_local_done(config.dst)
+
+    # -- source polling -------------------------------------------------
+
+    def _maybe_fault(self) -> None:
+        if self._fault is None:
+            return
+        kind, after = self._fault
+        emitted = sum(
+            sum(s.emitted_per_instance.values())
+            for s in self.sources.values()
+        )
+        if emitted < after:
+            return
+        if kind == "crash":
+            os._exit(23)
+        if kind == "hang":
+            while True:  # parked until the coordinator terminates us
+                time.sleep(60)
+        raise DeploymentError(f"unknown mp_fault kind {kind!r}")
+
+    def _poll_sources_once(self) -> bool:
+        progressed = False
+        for name, source in self.sources.items():
+            if source.exhausted:
+                continue
+            batch = source.poll()
+            if batch is not None:
+                progressed = True
+                self._route_batch(name, batch)
+                self._maybe_fault()
+            else:
+                self._declare_local_done(name)
+        emitted = sum(
+            sum(s.emitted_per_instance.values())
+            for s in self.sources.values()
+        )
+        if emitted != self.emitted_reported:
+            self.emitted_reported = emitted
+            self.events.put(("PROGRESS", self.server, emitted))
+        return progressed
+
+    # -- reconfiguration barrier ---------------------------------------
+
+    def _epoch(self, epoch: int) -> dict:
+        return self.epochs.setdefault(
+            epoch,
+            {
+                "fences": set(),
+                "mig_done": set(),
+                "action": None,
+                "fenced": False,
+                "applied": False,
+                "resumed": False,
+            },
+        )
+
+    def _enter_fence(self, epoch: int) -> None:
+        state = self._epoch(epoch)
+        if state["fenced"]:
+            return
+        state["fenced"] = True
+        self.paused = True
+        self._broadcast(("FENCE", epoch, self.server))
+
+    def _try_apply(self, epoch: int) -> None:
+        state = self._epoch(epoch)
+        if (
+            state["applied"]
+            or state["action"] is None
+            or not state["fenced"]
+            or not state["fences"].issuperset(self.peers)
+        ):
+            return
+        # Quiesced: every peer fenced, so all pre-epoch data arrived
+        # (per-producer FIFO) and has been processed.
+        state["applied"] = True
+        self._apply_action(epoch, self.options.actions[state["action"]])
+        self._flush_pending_migrates()
+        self._broadcast(("MIG_DONE", epoch, self.server))
+        self._try_resume(epoch)
+
+    def _try_resume(self, epoch: int) -> None:
+        state = self._epoch(epoch)
+        if (
+            state["resumed"]
+            or not state["applied"]
+            or not state["mig_done"].issuperset(self.peers)
+        ):
+            return
+        state["resumed"] = True
+        self.paused = False
+        self.events.put(("RECONFIGURED", epoch, self.server))
+
+    def _apply_action(self, epoch: int, action) -> None:
+        try:
+            config = self.streams[action.stream]
+        except KeyError:
+            raise DeploymentError(
+                f"reconfigure action names unknown stream "
+                f"{action.stream!r}; one of {sorted(self.streams)}"
+            ) from None
+        if config.kind not in ("table", "hash"):
+            raise DeploymentError(
+                f"scripted reconfiguration requires a deterministic "
+                f"keyed stream; {action.stream!r} is {config.kind!r}"
+            )
+        new_width = action.parallelism
+        config.table = action.table
+        if new_width is not None:
+            config.n = new_width
+            self.widths[config.dst] = max(
+                self.widths[config.dst], new_width
+            )
+            shard = self.bolts[config.dst]
+            shard.resize(new_width)
+            # New local instances need routers for the dst op's own
+            # output streams before they emit anything.
+            for stream in self.topology.outputs_of(config.dst):
+                self._build_routers_for(stream.name)
+        # Swap the live routers of every local source instance.
+        for instance in self._local_instances_of(config.src):
+            router = self.routers[(config.name, instance)]
+            if hasattr(router, "update_table"):
+                if new_width is not None:
+                    router.resize(config.n, config.table)
+                else:
+                    router.update_table(config.table)
+            elif new_width is not None:
+                router.resize(config.n)
+        # Migrate keyed state to each key's new owner.
+        shard = self.bolts[config.dst]
+        outgoing: Dict[int, Dict[int, Dict[Any, Any]]] = {}
+        local_installs: List[Tuple[int, Dict[Any, Any]]] = []
+        for instance, operator in shard.stateful_instances():
+            moving = [
+                key
+                for key in operator.state
+                if config.owner_of(key) != instance
+            ]
+            for key in moving:
+                owner = config.owner_of(key)
+                entries = operator.extract_state([key])
+                owner_server = _placement(owner, self.num_servers)
+                if owner_server == self.server:
+                    local_installs.append((owner, entries))
+                else:
+                    outgoing.setdefault(owner_server, {}).setdefault(
+                        owner, {}
+                    ).update(entries)
+        for owner, entries in local_installs:
+            shard.operators[owner].install_state(entries)
+        for server, per_instance in sorted(outgoing.items()):
+            self._send_blob(
+                server, ("MIGRATE", config.dst, per_instance)
+            )
+
+    def _install_migrate(self, op_name: str, per_instance: dict) -> None:
+        shard = self.bolts[op_name]
+        if any(owner not in shard.operators for owner in per_instance):
+            # A peer applied the resize before us; park the payload
+            # until our own _apply_action creates the new instances.
+            self._pending_migrates.append((op_name, per_instance))
+            return
+        for owner, entries in per_instance.items():
+            shard.operators[owner].install_state(entries)
+
+    def _flush_pending_migrates(self) -> None:
+        pending, self._pending_migrates = self._pending_migrates, []
+        for op_name, per_instance in pending:
+            self._install_migrate(op_name, per_instance)
+
+    # -- inbound handling -----------------------------------------------
+
+    def _handle(self, message) -> None:
+        if isinstance(message, bytes):
+            self.ipc_rx_bytes += len(message)
+            self.ipc_rx_msgs += 1
+            payload = pickle.loads(message)
+            tag = payload[0]
+            if tag == "DATA":
+                _, stream_name, values, dsts, srcs, sizes = payload
+                self._deliver(
+                    stream_name,
+                    TupleBatch(
+                        values,
+                        src_instances=srcs,
+                        dst_instances=dsts,
+                        sizes=sizes,
+                    ),
+                )
+            elif tag == "MIGRATE":
+                _, op_name, per_instance = payload
+                self._install_migrate(op_name, per_instance)
+            else:  # pragma: no cover - protocol invariant
+                raise DeploymentError(f"unknown blob tag {tag!r}")
+            return
+        tag = message[0]
+        if tag == "DONE":
+            _, stream_name, producer = message
+            self._mark_stream_done(stream_name, producer)
+        elif tag == "FENCE":
+            _, epoch, producer = message
+            self._epoch(epoch)["fences"].add(producer)
+            self._enter_fence(epoch)
+            self._try_apply(epoch)
+        elif tag == "RECONFIG":
+            _, epoch, action_index = message
+            self._epoch(epoch)["action"] = action_index
+            self._enter_fence(epoch)
+            self._try_apply(epoch)
+        elif tag == "MIG_DONE":
+            _, epoch, producer = message
+            self._epoch(epoch)["mig_done"].add(producer)
+            self._try_resume(epoch)
+        elif tag == "STOP":
+            self.stopped = True
+        else:  # pragma: no cover - protocol invariant
+            raise DeploymentError(f"unknown control message {tag!r}")
+
+    def _drain_inbox(self, block: bool) -> bool:
+        handled = False
+        while True:
+            try:
+                message = (
+                    self.inbox.get(timeout=_POLL_S)
+                    if block and not handled
+                    else self.inbox.get_nowait()
+                )
+            except _queue.Empty:
+                return handled
+            handled = True
+            self._handle(message)
+            if self.stopped:
+                return handled
+
+    def _check_finished(self) -> None:
+        if self.finished_sent:
+            return
+        if any(not s.exhausted for s in self.sources.values()):
+            return
+        if any(
+            len(done) < self.num_servers
+            for done in self.done_from.values()
+        ):
+            return
+        self.finished_sent = True
+        self.events.put(("FINISHED", self.server))
+
+    # -- result ---------------------------------------------------------
+
+    def result_payload(self, cpu_ns: int) -> dict:
+        op_stats = {
+            name: shard.stats.as_dict()
+            for name, shard in {**self.sources, **self.bolts}.items()
+        }
+        return {
+            "server": self.server,
+            "cpu_ns": cpu_ns,
+            "ipc_tx_bytes": self.ipc_tx_bytes,
+            "ipc_rx_bytes": self.ipc_rx_bytes,
+            "ipc_tx_msgs": self.ipc_tx_msgs,
+            "ipc_rx_msgs": self.ipc_rx_msgs,
+            "emitted": {
+                name: dict(source.emitted_per_instance)
+                for name, source in self.sources.items()
+            },
+            "processed": {
+                name: shard.stats.tuples_in
+                for name, shard in self.bolts.items()
+            },
+            "received": {
+                name: dict(shard.received)
+                for name, shard in self.bolts.items()
+            },
+            "state": {
+                name: shard.state_snapshot()
+                for name, shard in self.bolts.items()
+            },
+            "stream_counts": {
+                name: list(counts)
+                for name, counts in self.stream_counts.items()
+            },
+            "widths": dict(self.widths),
+            "op_stats": op_stats,
+        }
+
+    def run(self) -> None:
+        cpu_start = time.process_time_ns()
+        try:
+            self.setup()
+            # Streams whose producer has no local instances and no
+            # pending inputs will never produce here; the DONE protocol
+            # discovers that through _check_finished's cascade, but
+            # sources with zero local instances must still declare.
+            self._poll_sources_once()
+            while not self.stopped:
+                progressed = False
+                if not self.paused:
+                    progressed = self._poll_sources_once()
+                self._drain_inbox(block=not progressed)
+                self._check_finished()
+            cpu_ns = time.process_time_ns() - cpu_start
+            self.events.put(
+                ("RESULT", self.server, self.result_payload(cpu_ns))
+            )
+        except BaseException:
+            self.events.put(
+                ("ERROR", self.server, traceback.format_exc())
+            )
+
+
+def _worker_entry(
+    server: int, num_servers: int, topology, options, inboxes, events
+) -> None:
+    _Worker(
+        server, num_servers, topology, options, inboxes, events
+    ).run()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+def _teardown(procs, queues, events) -> None:
+    """Terminate → join → kill every worker; leave no orphans."""
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - terminate sufficed
+            proc.kill()
+            proc.join(timeout=5)
+    for box in queues:
+        box.close()
+        box.cancel_join_thread()
+    events.close()
+    events.cancel_join_thread()
+
+
+def run_multiprocess(topology: Topology, options) -> "BackendResult":
+    import multiprocessing
+
+    from repro.engine.backends import BackendResult, _default_servers
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+        raise DeploymentError(
+            "the multiprocess backend requires the 'fork' start method "
+            "(topology factories are closures); unavailable here"
+        ) from exc
+
+    num_servers = _default_servers(topology, options)
+    inboxes = [
+        ctx.Queue(maxsize=max(1, options.mp_queue_maxsize))
+        for _ in range(num_servers)
+    ]
+    events = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker_entry,
+            args=(s, num_servers, topology, options, inboxes, events),
+            daemon=True,
+            name=f"repro-mp-worker-{s}",
+        )
+        for s in range(num_servers)
+    ]
+
+    actions = sorted(
+        range(len(options.actions)),
+        key=lambda i: options.actions[i].at_tuples,
+    )
+    pending = list(actions)
+    emitted_by: Dict[int, int] = {}
+    finished: set = set()
+    reconfigured: set = set()
+    results: Dict[int, dict] = {}
+    epoch = 0
+    in_flight: Optional[int] = None
+
+    wall_start = time.perf_counter()
+    deadline = time.monotonic() + options.mp_timeout_s
+
+    def partial() -> dict:
+        return {
+            "emitted": dict(emitted_by),
+            "finished": sorted(finished),
+            "results": sorted(results),
+        }
+
+    def coordinator_put(server: int, message) -> None:
+        while True:
+            try:
+                inboxes[server].put(message, timeout=_POLL_S)
+                return
+            except _queue.Full:
+                if not procs[server].is_alive():
+                    raise MultiprocessBackendError(
+                        f"worker {server} died with a full inbound "
+                        f"queue (exitcode {procs[server].exitcode})",
+                        reason="worker-crash",
+                        server=server,
+                        exitcode=procs[server].exitcode,
+                        partial=partial(),
+                    )
+                if time.monotonic() > deadline:
+                    raise MultiprocessBackendError(
+                        f"timed out after {options.mp_timeout_s:g}s "
+                        f"blocked on worker {server}'s inbound queue",
+                        reason="timeout",
+                        server=server,
+                        partial=partial(),
+                    )
+
+    def maybe_reconfigure() -> None:
+        nonlocal epoch, in_flight
+        if in_flight is not None or not pending:
+            return
+        next_action = options.actions[pending[0]]
+        total = sum(emitted_by.values())
+        if total >= next_action.at_tuples or finished == set(
+            range(num_servers)
+        ):
+            index = pending.pop(0)
+            epoch += 1
+            in_flight = epoch
+            reconfigured.clear()
+            for server in range(num_servers):
+                coordinator_put(server, ("RECONFIG", epoch, index))
+
+    def maybe_stop() -> None:
+        if (
+            in_flight is None
+            and not pending
+            and finished == set(range(num_servers))
+        ):
+            for server in range(num_servers):
+                coordinator_put(server, ("STOP",))
+
+    try:
+        for proc in procs:
+            proc.start()
+        while len(results) < num_servers:
+            if time.monotonic() > deadline:
+                raise MultiprocessBackendError(
+                    f"multiprocess run exceeded mp_timeout_s="
+                    f"{options.mp_timeout_s:g}s "
+                    f"({len(results)}/{num_servers} workers reported)",
+                    reason="timeout",
+                    partial=partial(),
+                )
+            for server, proc in enumerate(procs):
+                # Exit code 0 with a pending RESULT is a normal finish
+                # (the queue feeder can outlive the process); anything
+                # else before the result lands is a crash.
+                if (
+                    server not in results
+                    and not proc.is_alive()
+                    and proc.exitcode != 0
+                ):
+                    raise MultiprocessBackendError(
+                        f"worker {server} exited with code "
+                        f"{proc.exitcode} before reporting its result",
+                        reason="worker-crash",
+                        server=server,
+                        exitcode=proc.exitcode,
+                        partial=partial(),
+                    )
+            try:
+                event = events.get(timeout=_POLL_S)
+            except _queue.Empty:
+                continue
+            tag = event[0]
+            if tag == "PROGRESS":
+                emitted_by[event[1]] = event[2]
+                maybe_reconfigure()
+            elif tag == "FINISHED":
+                finished.add(event[1])
+                maybe_reconfigure()
+                maybe_stop()
+            elif tag == "RECONFIGURED":
+                if event[1] == in_flight:
+                    reconfigured.add(event[2])
+                    if reconfigured == set(range(num_servers)):
+                        in_flight = None
+                        maybe_reconfigure()
+                        maybe_stop()
+            elif tag == "RESULT":
+                results[event[1]] = event[2]
+            elif tag == "ERROR":
+                raise MultiprocessBackendError(
+                    f"worker {event[1]} failed:\n{event[2]}",
+                    reason="worker-error",
+                    server=event[1],
+                    partial=partial(),
+                )
+        wall = time.perf_counter() - wall_start
+        for proc in procs:
+            proc.join(timeout=10)
+    finally:
+        _teardown(procs, inboxes, events)
+
+    return _assemble(topology, options, results, wall, "multiprocess")
+
+
+def _assemble(
+    topology, options, results: Dict[int, dict], wall: float, name: str
+) -> "BackendResult":
+    from repro.engine.backends import BackendResult
+
+    workers = [results[s] for s in sorted(results)]
+
+    widths: Dict[str, int] = {}
+    for worker in workers:
+        for op, width in worker["widths"].items():
+            widths[op] = max(widths.get(op, 0), width)
+
+    emitted = sum(
+        sum(per_instance.values())
+        for worker in workers
+        for per_instance in worker["emitted"].values()
+    )
+
+    stream_locality: Dict[str, float] = {}
+    local_sum = 0
+    total_sum = 0
+    for stream in topology.streams:
+        local = sum(
+            worker["stream_counts"][stream.name][0] for worker in workers
+        )
+        total = sum(
+            worker["stream_counts"][stream.name][1] for worker in workers
+        )
+        stream_locality[stream.name] = local / total if total else 1.0
+        local_sum += local
+        total_sum += total
+
+    processed: Dict[str, int] = {}
+    received: Dict[str, List[int]] = {}
+    load_balance: Dict[str, float] = {}
+    per_key_totals: Dict[str, Dict[Any, int]] = {}
+    key_instances: Dict[str, Dict[Any, Tuple[int, ...]]] = {}
+    for op in topology.bolts:
+        processed[op.name] = sum(
+            worker["processed"].get(op.name, 0) for worker in workers
+        )
+        counts = [0] * widths[op.name]
+        for worker in workers:
+            for instance, count in worker["received"][op.name].items():
+                counts[instance] += count
+        received[op.name] = counts
+        mean = sum(counts) / len(counts) if counts else 0.0
+        load_balance[op.name] = max(counts) / mean if mean else 1.0
+        totals: Dict[Any, int] = {}
+        holders: Dict[Any, List[int]] = {}
+        stateful = False
+        for worker in workers:
+            for instance, state in worker["state"][op.name].items():
+                stateful = True
+                for key, value in state.items():
+                    totals[key] = totals.get(key, 0) + value
+                    holders.setdefault(key, []).append(instance)
+        if stateful and totals:
+            per_key_totals[op.name] = totals
+            key_instances[op.name] = {
+                key: tuple(sorted(instances))
+                for key, instances in holders.items()
+            }
+
+    op_stats = merge_op_stats(worker["op_stats"] for worker in workers)
+    per_server = {
+        worker["server"]: {
+            "cpu_ns": worker["cpu_ns"],
+            "ipc_tx_bytes": worker["ipc_tx_bytes"],
+            "ipc_rx_bytes": worker["ipc_rx_bytes"],
+            "ipc_tx_msgs": worker["ipc_tx_msgs"],
+            "ipc_rx_msgs": worker["ipc_rx_msgs"],
+        }
+        for worker in workers
+    }
+    cpu_ns_max = max((w["cpu_ns"] for w in workers), default=0)
+    total_processed = sum(processed.values())
+    return BackendResult(
+        backend=name,
+        wall_s=wall,
+        sim_s=cpu_ns_max / 1e9,
+        tuples_emitted=emitted,
+        processed=processed,
+        tuples_per_s=total_processed / wall if wall > 0 else 0.0,
+        locality=(local_sum / total_sum) if total_sum else 1.0,
+        stream_locality=stream_locality,
+        load_balance=load_balance,
+        received=received,
+        per_key_totals=per_key_totals,
+        key_instances=key_instances,
+        op_stats={
+            op_name: stats.as_dict()
+            for op_name, stats in op_stats.items()
+        },
+        fingerprint=None,
+        handle=None,
+        measured={
+            "per_server": per_server,
+            "cpu_ns_total": sum(w["cpu_ns"] for w in workers),
+            "ipc_bytes_total": sum(w["ipc_tx_bytes"] for w in workers),
+            "ipc_msgs_total": sum(w["ipc_tx_msgs"] for w in workers),
+        },
+    )

@@ -38,7 +38,17 @@ from repro.errors import DeploymentError
 
 @dataclass
 class OpStats:
-    """Per-operator execution counters, maintained by the base class."""
+    """Per-operator execution counters, maintained by the base class.
+
+    **Mutation contract**: an ``OpStats`` is plain unsynchronized
+    state, incremented by whichever single thread drives the owning
+    operator. That is safe because a :class:`PhysicalPlan` is driven by
+    exactly one thread; a backend that shards an operator across
+    threads or processes must give every shard its *own* operator (and
+    hence its own ``OpStats``) and combine them afterwards with
+    :func:`merge_op_stats` — never share one ``OpStats`` across
+    concurrent mutators.
+    """
 
     batches_in: int = 0
     batches_out: int = 0
@@ -56,6 +66,54 @@ class OpStats:
             "tuples_out": float(self.tuples_out),
             "busy_s": self.busy_s,
         }
+
+    def merge(self, other: "OpStats") -> "OpStats":
+        """Fold ``other`` into this one (in place; returns self).
+
+        All counters are additive — including ``busy_s``, which for
+        sharded operators sums the shards' busy time (total work, not
+        makespan; a backend wanting makespan tracks it separately).
+        """
+        self.batches_in += other.batches_in
+        self.batches_out += other.batches_out
+        self.tuples_in += other.tuples_in
+        self.tuples_out += other.tuples_out
+        self.busy_s += other.busy_s
+        return self
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "OpStats":
+        """Rebuild from :meth:`as_dict` output (shards that crossed a
+        process boundary arrive as plain dicts)."""
+        return cls(
+            batches_in=int(data.get("batches_in", 0)),
+            batches_out=int(data.get("batches_out", 0)),
+            tuples_in=int(data.get("tuples_in", 0)),
+            tuples_out=int(data.get("tuples_out", 0)),
+            busy_s=float(data.get("busy_s", 0.0)),
+        )
+
+
+def merge_op_stats(shards) -> Dict[str, OpStats]:
+    """Aggregate per-operator stats across shards of one logical plan.
+
+    ``shards`` is an iterable of ``{op_name: OpStats | as_dict()}``
+    mappings — one per worker thread/process. Each (shard, op) pair is
+    folded in exactly once, so totals are neither double-counted nor
+    lost when a shard ran only part of the plan (early termination
+    leaves an operator missing from some shards; missing simply means
+    "contributed zero").
+    """
+    merged: Dict[str, OpStats] = {}
+    for shard in shards:
+        for name, stats in shard.items():
+            if isinstance(stats, dict):
+                stats = OpStats.from_dict(stats)
+            if name in merged:
+                merged[name].merge(stats)
+            else:
+                merged[name] = OpStats().merge(stats)
+    return merged
 
 
 class TupleBatch:
@@ -296,6 +354,14 @@ class PhysicalPlan:
         sources, with no batch in flight — the quiescent points where a
         backend may apply scripted reconfigurations (table swaps,
         rescales) without splitting a batch across two routing epochs.
+
+        **Threading contract**: ``execute`` drives the whole plan from
+        the calling thread, and ``on_round`` runs on that same thread.
+        Operator state and :class:`OpStats` are mutated without locks
+        on that assumption. A distributed backend (e.g. the
+        multiprocess one) therefore runs one single-threaded plan
+        *per worker* and aggregates with :func:`merge_op_stats`; it
+        must not share operators between concurrently driven plans.
         """
         sources = self.sources()
         live = list(sources)

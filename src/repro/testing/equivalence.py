@@ -1,10 +1,16 @@
 """Cross-backend equivalence: the invariant class gating the fast path.
 
-The vectorized backend (DESIGN.md §15) only earns its speedup if it is
+A candidate backend — the vectorized fast path (DESIGN.md §15) or the
+multiprocess backend (DESIGN.md §16, real worker processes with
+measured CPU/IPC costs) — only earns its place if it is
 *indistinguishable* from the discrete-event reference on everything the
 paper's evaluation measures. This module turns that into machine-
 checked invariants over two :class:`~repro.engine.backends.
-BackendResult` objects:
+BackendResult` objects; the same tiers apply to every candidate, and
+:func:`run_equivalence` takes ``candidate=`` to pick which one runs
+against the reference. A candidate's ``measured`` field (real costs,
+multiprocess only) is carried through untouched — it has no modeled
+counterpart to compare against, so it is reported, not gated.
 
 **Exact invariants** (any mismatch is a violation):
 

@@ -1,0 +1,99 @@
+"""The committed fig10-12 campaign files expand to the legacy grids.
+
+``benchmarks/bench_fig10.py`` / ``bench_fig11.py`` / ``bench_fig12.py``
+sweep the quick grids hard-coded in ``repro.analysis.experiments``
+(fig10: weeks=8; fig11: the three routing modes; fig12: edge budgets
+(10, 1000, None) x parallelisms (2, 6)).  The campaign ports must plan
+exactly those cells — a silently narrower YAML matrix would pass its
+own baseline while dropping grid points the benches still cover.  Each
+campaign's committed baseline must also carry every planned cell, so
+``--record-baseline`` drift (stale ids after a matrix edit) is caught
+here instead of as a confusing "new cell" diff at campaign time.
+"""
+
+import json
+import os
+
+from repro.campaign.config import load_campaign
+from repro.campaign.planner import plan
+
+CAMPAIGNS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "campaigns",
+)
+
+
+def _plan(filename):
+    config = load_campaign(os.path.join(CAMPAIGNS_DIR, filename))
+    return config, plan(config)
+
+
+def _baseline_cells(config):
+    with open(config.baseline_path(), "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    assert data["campaign"] == config.name
+    return data["cells"]
+
+
+def test_fig10_expands_to_legacy_flash_cells():
+    config, cells = _plan("fig10-flash.yaml")
+    assert config.runner == "fig10"
+    # bench_fig10 runs weeks=4 quick / weeks=8 full; both are cells.
+    assert [cell.assignment for cell in cells] == [
+        {"weeks": 4},
+        {"weeks": 8},
+    ]
+    for cell in cells:
+        assert cell.params["quick"] is True
+    assert set(_baseline_cells(config)) == {cell.id for cell in cells}
+
+
+def test_fig11_expands_to_legacy_mode_grid():
+    config, cells = _plan("fig11-weekly.yaml")
+    assert config.runner == "fig11"
+    assert {cell.assignment["mode"] for cell in cells} == {
+        "online",
+        "offline",
+        "hash-based",
+    }
+    assert len(cells) == 3
+    for cell in cells:
+        assert cell.params["quick"] is True
+    assert set(_baseline_cells(config)) == {cell.id for cell in cells}
+
+
+def test_fig12_expands_to_legacy_quick_grid():
+    config, cells = _plan("fig12-edges.yaml")
+    assert config.runner == "fig12"
+    # experiments.fig12 quick grid: (10, 1000, None) x (2, 6); the
+    # unlimited budget is spelled 0 in YAML (axis values are scalars).
+    legacy = {
+        (budget, parallelism)
+        for budget in (10, 1000, 0)
+        for parallelism in (2, 6)
+    }
+    planned = {
+        (cell.assignment["budget"], cell.assignment["parallelism"])
+        for cell in cells
+    }
+    assert planned == legacy
+    assert len(cells) == len(legacy)
+    for cell in cells:
+        assert cell.params["quick"] is True
+    assert set(_baseline_cells(config)) == {cell.id for cell in cells}
+
+
+def test_backend_equivalence_covers_both_candidates():
+    config, cells = _plan("backend-equivalence.yaml")
+    assert config.runner == "backend"
+    scenarios = {"fig13", "skew-table", "skew-hash", "skew-hybrid", "rescale"}
+    planned = {
+        (cell.assignment["scenario"], cell.assignment["candidate"])
+        for cell in cells
+    }
+    assert planned == {
+        (scenario, candidate)
+        for scenario in scenarios
+        for candidate in ("vectorized", "multiprocess")
+    }
+    assert set(_baseline_cells(config)) == {cell.id for cell in cells}

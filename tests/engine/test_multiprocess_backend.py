@@ -1,0 +1,484 @@
+"""The multiprocess backend: equivalence, faults, teardown.
+
+Three layers of lockdown for `repro.engine.backends.multiprocess`:
+
+1. **Equivalence stress** — ten seeds of the skew workload plus fig13
+   and a 2→4 rescale replay must match the reference DES under the
+   tiered exactness contract (strict for table/hash, containment for
+   hybrid), with per-server CPU ns and inter-process bytes reported as
+   *measured* values.
+2. **Properties** (mirror of ``test_vectorized_routers``): for random
+   mixed-type key streams run through the *real* backend, table/hash
+   placements equal the scalar routers' per-tuple decisions; hybrid
+   and PKG keep per-key totals exact with placements contained in the
+   member/candidate sets.
+3. **Failure handling** — an injected worker crash mid-batch and an
+   injected hang both surface as a structured
+   :class:`MultiprocessBackendError` (partial progress attached), tiny
+   queues exercise the backpressure path, and *every* test asserts no
+   child process survives.
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing_table import RoutingTable
+from repro.engine import (
+    CountBolt,
+    TableFieldsGrouping,
+    TopologyBuilder,
+)
+from repro.engine.backends import (
+    BackendOptions,
+    MultiprocessBackendError,
+    ReconfigureAction,
+    available_backends,
+    run_topology,
+)
+from repro.engine.grouping import (
+    FieldsGrouping,
+    HybridTableFieldsGrouping,
+    PartialKeyGrouping,
+    RouterContext,
+    candidate_instances,
+    stable_hash,
+)
+from repro.engine.operators import IteratorSpout
+from repro.testing.equivalence import compare_backends, run_equivalence
+from repro.workloads.skew import SkewConfig, SkewWorkload
+
+pytestmark = pytest.mark.timeout(120)
+
+STRICT = dict(locality_tol=1e-9, balance_tol=1e-9)
+
+
+def assert_no_orphans():
+    """Every worker the backend forked must be gone again."""
+    leaked = [
+        p
+        for p in multiprocessing.active_children()
+        if p.name.startswith("repro-mp-worker")
+    ]
+    assert leaked == []
+
+
+def mp_options(**kw):
+    kw.setdefault("mp_timeout_s", 60)
+    return BackendOptions(**kw)
+
+
+def test_backend_is_registered():
+    assert "multiprocess" in available_backends()
+
+
+# ----------------------------------------------------------------------
+# Equivalence stress
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_skew_table_equivalence_ten_seeds(seed):
+    config = SkewConfig(
+        parallelism=4, seed=seed, tuples_per_instance=300
+    )
+    report, ref, cand = run_equivalence(
+        lambda: SkewWorkload(config).topology("table"),
+        candidate="multiprocess",
+        candidate_options=mp_options(),
+        **STRICT,
+    )
+    assert report.ok, report.summary()
+    # OpStats aggregated across workers must equal the DES totals:
+    # no double-count, no loss (the merge_op_stats contract, end to end)
+    for op, count in ref.processed.items():
+        assert cand.op_stats[op]["tuples_in"] == count
+    assert_no_orphans()
+
+
+@pytest.mark.parametrize("policy", ["hash", "hybrid"])
+def test_skew_policies_equivalence(policy):
+    config = SkewConfig(parallelism=4, seed=1, tuples_per_instance=400)
+    relaxed = policy == "hybrid"
+    report, _, cand = run_equivalence(
+        lambda: SkewWorkload(config).topology(policy),
+        candidate="multiprocess",
+        candidate_options=mp_options(),
+        locality_tol=0.05 if relaxed else 1e-9,
+        balance_tol=0.15 if relaxed else 1e-9,
+        exact_placements=not relaxed,
+        exact_received=not relaxed,
+    )
+    assert report.ok, report.summary()
+    assert cand.measured["cpu_ns_total"] > 0
+    assert_no_orphans()
+
+
+def test_fig13_equivalence():
+    from repro.workloads.flickr import FlickrConfig, FlickrWorkload
+
+    workload = FlickrWorkload(FlickrConfig(seed=0))
+    report, _, cand = run_equivalence(
+        lambda: workload.topology(
+            parallelism=4, padding=1000, tuples_per_instance=500
+        ),
+        candidate="multiprocess",
+        candidate_options=mp_options(),
+        **STRICT,
+    )
+    assert report.ok, report.summary()
+    assert_no_orphans()
+
+
+def _rescale_topology(seed, spouts=3, tuples_per_instance=800, width=2):
+    import random
+
+    def source(ctx):
+        rng = random.Random(seed * 1000003 + ctx.instance_index)
+        for _ in range(tuples_per_instance):
+            a = rng.randrange(12)
+            yield (a, a + 100)
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=spouts)
+    builder.bolt(
+        "A",
+        lambda: CountBolt(0, forward=True),
+        parallelism=width,
+        inputs={"S": TableFieldsGrouping(0)},
+    )
+    builder.bolt(
+        "B",
+        lambda: CountBolt(1, forward=False),
+        parallelism=width,
+        inputs={"A": TableFieldsGrouping(1)},
+    )
+    return builder.build()
+
+
+def test_rescale_replay_2_to_4():
+    """The DES manager's final decision, replayed as scripted actions
+    through the multiprocess control channel: per-key totals and final
+    placements must match the DES exactly (both settle on ``owner_of``
+    under the final table)."""
+    from repro.core import Manager, ManagerConfig
+
+    seed, tuples_per_instance, after = 3, 800, 4
+
+    def attach_manager(deployment):
+        sim = deployment.sim
+        manager = Manager(deployment, ManagerConfig(period_s=None))
+
+        def kick():
+            if not manager.rescale(after, on_complete=lambda r: None):
+                sim.schedule(0.01, kick)
+
+        sim.schedule(0.02, kick)
+
+    ref = run_topology(
+        _rescale_topology(seed, tuples_per_instance=tuples_per_instance),
+        "reference",
+        BackendOptions(num_servers=after, on_deployed=attach_manager),
+    )
+    deployment = ref.handle
+    actions = [
+        ReconfigureAction(
+            tuples_per_instance,
+            "S->A",
+            deployment.executors["S"][0].table_router("S->A").table,
+            after,
+        ),
+        ReconfigureAction(
+            tuples_per_instance,
+            "A->B",
+            deployment.executors["A"][0].table_router("A->B").table,
+            after,
+        ),
+    ]
+    cand = run_topology(
+        _rescale_topology(seed, tuples_per_instance=tuples_per_instance),
+        "multiprocess",
+        mp_options(num_servers=after, actions=actions),
+    )
+    report = compare_backends(
+        ref, cand, exact_received=False, locality_tol=1.0, balance_tol=1.0
+    )
+    assert report.ok, report.summary()
+    assert ref.per_key_totals == cand.per_key_totals
+    assert ref.key_instances == cand.key_instances
+    assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Measured costs
+# ----------------------------------------------------------------------
+
+
+def test_measured_costs_shape():
+    config = SkewConfig(parallelism=4, seed=0, tuples_per_instance=200)
+    result = run_topology(
+        SkewWorkload(config).topology("table"),
+        "multiprocess",
+        mp_options(),
+    )
+    measured = result.measured
+    assert sorted(measured["per_server"]) == [0, 1, 2, 3]
+    for stats in measured["per_server"].values():
+        assert stats["cpu_ns"] > 0
+    assert measured["cpu_ns_total"] == sum(
+        s["cpu_ns"] for s in measured["per_server"].values()
+    )
+    # conservation on the wire: every byte sent was received
+    assert measured["ipc_bytes_total"] == sum(
+        s["ipc_rx_bytes"] for s in measured["per_server"].values()
+    )
+    assert result.sim_s > 0
+    assert_no_orphans()
+
+
+def test_single_server_run_has_zero_ipc():
+    """With one server every edge is intra-server: locality is total
+    and not a single byte crosses a process boundary."""
+    config = SkewConfig(parallelism=4, seed=0, tuples_per_instance=200)
+    result = run_topology(
+        SkewWorkload(config).topology("hash"),
+        "multiprocess",
+        mp_options(num_servers=1),
+    )
+    assert result.locality == 1.0
+    assert result.measured["ipc_bytes_total"] == 0
+    assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Properties: real-backend routing == scalar routers
+# ----------------------------------------------------------------------
+
+keys_st = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(max_size=8),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.none(),
+)
+# unique=True (value equality) keeps 1 / 1.0 / True apart: they are
+# distinct routing keys but would alias as CountBolt state dict keys
+key_lists = st.lists(keys_st, min_size=1, max_size=12, unique=True)
+
+REPEATS = 3
+
+
+def _keyed_topology(keys, grouping, parallelism):
+    def source(ctx):
+        for _ in range(REPEATS):
+            for key in keys:
+                yield (key,)
+
+    builder = TopologyBuilder()
+    builder.spout("S", lambda: IteratorSpout(source), parallelism=1)
+    builder.bolt(
+        "C",
+        lambda: CountBolt(0, forward=False),
+        parallelism=parallelism,
+        inputs={"S": grouping},
+    )
+    return builder.build()
+
+
+def _scalar_router(grouping, parallelism, num_servers=2):
+    return grouping.build_router(
+        RouterContext(
+            stream_name="S->C",
+            src_instance=0,
+            src_server=0,
+            dst_placements=[
+                i % num_servers for i in range(parallelism)
+            ],
+            seed=stable_hash("S->C"),
+        )
+    )
+
+
+@given(keys=key_lists, n=st.integers(min_value=1, max_value=5))
+@settings(max_examples=12, deadline=None)
+def test_mp_hash_placements_match_scalar_router(keys, n):
+    result = run_topology(
+        _keyed_topology(keys, FieldsGrouping(0), n),
+        "multiprocess",
+        mp_options(num_servers=2),
+    )
+    router = _scalar_router(FieldsGrouping(0), n)
+    for key in keys:
+        assert result.per_key_totals["C"][key] == REPEATS
+        assert result.key_instances["C"][key] == tuple(
+            router.select((key,))
+        )
+    assert_no_orphans()
+
+
+@given(
+    keys=key_lists,
+    n=st.integers(min_value=2, max_value=5),
+    mapped=st.dictionaries(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=1),
+        max_size=10,
+    ),
+)
+@settings(max_examples=12, deadline=None)
+def test_mp_table_placements_match_scalar_router(keys, n, mapped):
+    table = RoutingTable(mapped)
+    result = run_topology(
+        _keyed_topology(keys, TableFieldsGrouping(0, table=table), n),
+        "multiprocess",
+        mp_options(num_servers=2),
+    )
+    router = _scalar_router(TableFieldsGrouping(0, table=table), n)
+    for key in keys:
+        assert result.per_key_totals["C"][key] == REPEATS
+        assert result.key_instances["C"][key] == tuple(
+            router.select((key,))
+        )
+    assert_no_orphans()
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=30),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    ),
+    n=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=10, deadline=None)
+def test_mp_hybrid_totals_exact_and_contained(keys, n):
+    # key 0 is split over {0, 1}; the tail routes like a table router
+    table = RoutingTable(
+        {k: k % n for k in range(5)}, splits={0: (0, 1)}
+    )
+    result = run_topology(
+        _keyed_topology(
+            keys, HybridTableFieldsGrouping(0, table=table), n
+        ),
+        "multiprocess",
+        mp_options(num_servers=2),
+    )
+    tail = _scalar_router(TableFieldsGrouping(0, table=table), n)
+    for key in keys:
+        assert result.per_key_totals["C"][key] == REPEATS
+        placed = result.key_instances["C"][key]
+        if key == 0:
+            assert set(placed) <= {0, 1}
+        else:
+            assert placed == tuple(tail.select((key,)))
+    assert_no_orphans()
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=-50, max_value=50),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    ),
+    n=st.integers(min_value=2, max_value=5),
+    d=st.integers(min_value=2, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_mp_pkg_totals_exact_and_contained(keys, n, d):
+    result = run_topology(
+        _keyed_topology(keys, PartialKeyGrouping(0, d=d), n),
+        "multiprocess",
+        mp_options(num_servers=2),
+    )
+    seed = stable_hash("S->C")
+    for key in keys:
+        assert result.per_key_totals["C"][key] == REPEATS
+        cands = candidate_instances(key, seed, n, d)
+        assert set(result.key_instances["C"][key]) <= set(cands)
+    assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# Failure handling
+# ----------------------------------------------------------------------
+
+
+def _skew_topology(tuples_per_instance=500):
+    config = SkewConfig(
+        parallelism=4, seed=0, tuples_per_instance=tuples_per_instance
+    )
+    return SkewWorkload(config).topology("table")
+
+
+def test_worker_crash_mid_batch_raises_structured_error():
+    with pytest.raises(MultiprocessBackendError) as info:
+        run_topology(
+            _skew_topology(),
+            "multiprocess",
+            mp_options(
+                mp_fault={
+                    "kind": "crash",
+                    "server": 1,
+                    "after_tuples": 50,
+                }
+            ),
+        )
+    error = info.value
+    assert error.reason == "worker-crash"
+    assert error.server == 1
+    assert error.exitcode not in (0, None)
+    assert sorted(error.partial) == ["emitted", "finished", "results"]
+    assert_no_orphans()
+
+
+def test_worker_hang_hits_timeout_and_tears_down():
+    with pytest.raises(MultiprocessBackendError) as info:
+        run_topology(
+            _skew_topology(),
+            "multiprocess",
+            BackendOptions(
+                mp_timeout_s=3,
+                mp_fault={
+                    "kind": "hang",
+                    "server": 0,
+                    "after_tuples": 50,
+                },
+            ),
+        )
+    assert info.value.reason == "timeout"
+    assert_no_orphans()
+
+
+def test_queue_full_backpressure_still_equivalent():
+    """Single-slot inbound queues force every sender through the
+    drain-own-inbox retry path; results must not change."""
+    config = SkewConfig(parallelism=4, seed=2, tuples_per_instance=300)
+    report, _, _ = run_equivalence(
+        lambda: SkewWorkload(config).topology("table"),
+        candidate="multiprocess",
+        candidate_options=mp_options(mp_queue_maxsize=1, batch_size=64),
+        **STRICT,
+    )
+    assert report.ok, report.summary()
+    assert_no_orphans()
+
+
+def test_unknown_fault_kind_is_a_worker_error():
+    with pytest.raises(MultiprocessBackendError) as info:
+        run_topology(
+            _skew_topology(200),
+            "multiprocess",
+            mp_options(
+                mp_fault={
+                    "kind": "meteor",
+                    "server": 0,
+                    "after_tuples": 0,
+                }
+            ),
+        )
+    assert info.value.reason == "worker-error"
+    assert_no_orphans()

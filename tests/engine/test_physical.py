@@ -9,11 +9,13 @@ the plan driver's quiescent ``on_round`` hook.
 import pytest
 
 from repro.engine.physical import (
+    OpStats,
     PhysicalEdge,
     PhysicalOperator,
     PhysicalPlan,
     SourceOperator,
     TupleBatch,
+    merge_op_stats,
 )
 from repro.errors import DeploymentError
 
@@ -184,3 +186,55 @@ class TestPlanDriver:
         plan.execute()
         assert sorted(sink.held) == [(1,), (2,), (3,)]
         assert sink.stats.batches_in == 3
+
+
+class TestMergeOpStats:
+    """The sharded-stats contract (multiprocess backend): OpStats is
+    plain unsynchronized state, so every shard keeps its own and the
+    coordinator combines with merge_op_stats — no double-count, no
+    loss, even when some shards never report (early termination)."""
+
+    def _stats(self, **kw):
+        stats = OpStats()
+        for name, value in kw.items():
+            setattr(stats, name, value)
+        return stats
+
+    def test_merge_sums_every_field(self):
+        merged = merge_op_stats(
+            [
+                {"A": self._stats(batches_in=1, tuples_in=10, busy_s=0.5)},
+                {"A": self._stats(batches_in=2, tuples_in=20, busy_s=0.25)},
+                {"B": self._stats(tuples_out=7)},
+            ]
+        )
+        assert merged["A"].batches_in == 3
+        assert merged["A"].tuples_in == 30
+        assert merged["A"].busy_s == 0.75
+        assert merged["B"].tuples_out == 7
+
+    def test_merge_does_not_mutate_shards(self):
+        # aliasing a shard's object into the result would double-count
+        # on the next aggregation of the same shard list
+        shard = {"A": self._stats(tuples_in=5)}
+        merged = merge_op_stats([shard])
+        assert merged["A"] is not shard["A"]
+        merge_op_stats([shard])
+        assert shard["A"].tuples_in == 5
+
+    def test_merge_accepts_serialized_dicts(self):
+        # worker results cross a process boundary as as_dict() payloads
+        merged = merge_op_stats(
+            [
+                {"A": self._stats(tuples_in=4, batches_out=1).as_dict()},
+                {"A": self._stats(tuples_in=6)},
+            ]
+        )
+        assert merged["A"].tuples_in == 10
+        assert merged["A"].batches_out == 1
+
+    def test_missing_shards_lose_nothing_present(self):
+        # early termination: only one worker reported — the merge is
+        # exactly that worker's stats, not zeros
+        merged = merge_op_stats([{}, {"A": self._stats(tuples_in=3)}])
+        assert merged["A"].tuples_in == 3
